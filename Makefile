@@ -1,0 +1,41 @@
+# Development targets for the adatm reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench fuzz experiments experiments-quick examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+fuzz:
+	$(GO) test -fuzz FuzzReadTNS -fuzztime 30s ./internal/tensor/
+
+experiments:
+	$(GO) run ./cmd/adabench
+
+experiments-quick:
+	$(GO) run ./cmd/adabench -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/modelpick
+	$(GO) run ./examples/recommender
+	$(GO) run ./examples/healthcare
+	$(GO) run ./examples/completion
+
+clean:
+	$(GO) clean ./...

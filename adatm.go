@@ -1,0 +1,307 @@
+// Package adatm is the public API of the library: model-driven sparse
+// CANDECOMP/PARAFAC (CP) decomposition for higher-order tensors.
+//
+// The library reproduces the system of "Model-Driven Sparse CP Decomposition
+// for Higher-Order Tensors" (IPDPS 2017): CP-ALS whose MTTKRP bottleneck is
+// served by memoized semi-sparse intermediate tensors arranged in a strategy
+// tree, with an analytical cost model that picks the best strategy for a
+// given tensor, rank, and memory budget. Classic baselines (streaming COO
+// and SPLATT-style CSF) are included for comparison.
+//
+// Quick start:
+//
+//	x, _ := adatm.Load("data.tns")
+//	res, _ := adatm.Decompose(x, adatm.Options{Rank: 16})
+//	fmt.Println(res.Fit, res.Lambda)
+//
+// See examples/ for complete programs.
+package adatm
+
+import (
+	"fmt"
+
+	"adatm/internal/coo"
+	"adatm/internal/cpd"
+	"adatm/internal/csf"
+	"adatm/internal/dense"
+	"adatm/internal/engine"
+	"adatm/internal/hicoo"
+	"adatm/internal/memo"
+	"adatm/internal/model"
+	"adatm/internal/tensor"
+)
+
+// Re-exported core types. The implementation lives in internal packages;
+// these aliases are the supported public surface.
+type (
+	// Tensor is a sparse tensor in coordinate format.
+	Tensor = tensor.COO
+	// Index is the integer type of tensor mode indices.
+	Index = tensor.Index
+	// Matrix is a dense row-major matrix (factor matrices, MTTKRP outputs).
+	Matrix = dense.Matrix
+	// Result is a computed CP decomposition with run statistics.
+	Result = cpd.Result
+	// Engine is a pluggable MTTKRP kernel.
+	Engine = engine.Engine
+	// EngineStats carries an engine's operation and memory counters.
+	EngineStats = engine.Stats
+	// Strategy is a memoization tree over the tensor modes.
+	Strategy = memo.Strategy
+	// Plan is the cost model's scored candidate list and chosen strategy.
+	Plan = model.Plan
+	// GenSpec describes a synthetic tensor for the built-in generators.
+	GenSpec = tensor.GenSpec
+	// CompleteOptions configures masked tensor completion.
+	CompleteOptions = cpd.CompleteOptions
+	// CompleteResult is a fitted completion model.
+	CompleteResult = cpd.CompleteResult
+	// APROptions configures Poisson CP (CP-APR) for count data.
+	APROptions = cpd.APROptions
+	// APRResult is a fitted Poisson CP model.
+	APRResult = cpd.APRResult
+)
+
+// DecomposeAPR fits a Poisson CP model (CP-APR with multiplicative updates)
+// to a non-negative count tensor — the statistically appropriate objective
+// for the web/NLP/healthcare count data that motivates sparse CP.
+func DecomposeAPR(x *Tensor, opt APROptions) (*APRResult, error) {
+	return cpd.RunAPR(x, opt)
+}
+
+// PredictAPR evaluates a Poisson CP model's rate at one coordinate.
+func PredictAPR(res *APRResult, idx []Index) float64 { return cpd.PredictAPR(res, idx) }
+
+// SaveModel writes a decomposition (λ + factors) to a portable JSON file.
+func SaveModel(path string, res *Result) error { return cpd.SaveModel(path, res) }
+
+// LoadModel reads a decomposition written by SaveModel (λ and factors only;
+// run statistics are not persisted).
+func LoadModel(path string) (*Result, error) { return cpd.LoadModel(path) }
+
+// NVecsInit computes HOSVD-style initial factors (the leading Rank left
+// singular vectors of each matricization, by matricization-free block power
+// iteration) for use as Options.Init — the literature-standard alternative
+// to random initialization.
+func NVecsInit(x *Tensor, rank, iters int, seed int64, workers int) []*Matrix {
+	return cpd.NVecsInit(x, rank, iters, seed, workers)
+}
+
+// Complete fits a CP model to the *observed* entries of x only (masked
+// alternating least squares) — the recommender-system semantics where
+// missing coordinates are unknown rather than zero. Use Decompose for count
+// data where absent coordinates genuinely mean zero.
+func Complete(x *Tensor, opt CompleteOptions) (*CompleteResult, error) {
+	return cpd.Complete(x, opt)
+}
+
+// EngineKind selects the MTTKRP kernel used by Decompose.
+type EngineKind string
+
+const (
+	// EngineCOO is the element-streaming coordinate-format baseline.
+	EngineCOO EngineKind = "coo"
+	// EngineCSF is the SPLATT-equivalent compressed-sparse-fiber baseline
+	// (one tree per mode, root kernels only).
+	EngineCSF EngineKind = "csf"
+	// EngineCSFOne is the memory-lean single-tree CSF variant: one tree
+	// serves every mode through level kernels (push-down/pull-up).
+	EngineCSFOne EngineKind = "csf-one"
+	// EngineHiCOO is the blocked-COO baseline (HiCOO-style): block
+	// coordinates stored once, 1-byte element offsets inside 128-wide
+	// blocks.
+	EngineHiCOO EngineKind = "hicoo"
+	// EngineMemoFlat memoizes with the flat (no-reuse, index-compressed)
+	// strategy.
+	EngineMemoFlat EngineKind = "memo-flat"
+	// EngineMemoTwoGroup memoizes with the two-group (3-level) strategy
+	// split at N/2.
+	EngineMemoTwoGroup EngineKind = "memo-2group"
+	// EngineMemoBalanced memoizes with the balanced binary strategy.
+	EngineMemoBalanced EngineKind = "memo-balanced"
+	// EngineAdaptive runs the cost model and uses its chosen strategy —
+	// the paper's headline configuration.
+	EngineAdaptive EngineKind = "adaptive"
+)
+
+// EngineKinds lists every selectable engine, in the canonical report order.
+func EngineKinds() []EngineKind {
+	return []EngineKind{EngineCOO, EngineCSF, EngineCSFOne, EngineHiCOO, EngineMemoFlat, EngineMemoTwoGroup, EngineMemoBalanced, EngineAdaptive}
+}
+
+// Options configures Decompose.
+type Options struct {
+	// Rank is the number of rank-one components (required).
+	Rank int
+	// MaxIters bounds the ALS iterations (default 50).
+	MaxIters int
+	// Tol is the convergence threshold on the fit change (default 1e-5).
+	Tol float64
+	// Seed drives the random factor initialization.
+	Seed int64
+	// Workers is the parallel width (<= 0: GOMAXPROCS).
+	Workers int
+	// Engine selects the MTTKRP kernel (default EngineAdaptive).
+	Engine EngineKind
+	// MemoryBudget caps the adaptive engine's predicted auxiliary bytes
+	// (<= 0: unbounded). Ignored by non-adaptive engines.
+	MemoryBudget int64
+	// TrackFit retains the per-iteration fit trajectory in the result.
+	TrackFit bool
+	// Init supplies initial factor matrices (one I_n × Rank per mode);
+	// nil selects random initialization.
+	Init []*Matrix
+	// Ridge adds Tikhonov regularization λ·I to every factor update.
+	Ridge float64
+	// NonNegative constrains every factor entry to be non-negative
+	// (multiplicative updates); requires a non-negative tensor.
+	NonNegative bool
+	// ModeOrder sets the ALS sub-iteration order (a permutation of the
+	// modes; nil = natural). Mode-permuted engines require it to match
+	// their sweep order.
+	ModeOrder []int
+}
+
+// Decompose computes a rank-R CP decomposition of x.
+func Decompose(x *Tensor, opt Options) (*Result, error) {
+	kind := opt.Engine
+	if kind == "" {
+		kind = EngineAdaptive
+	}
+	eng, err := NewEngine(x, kind, EngineConfig{Rank: opt.Rank, Workers: opt.Workers, MemoryBudget: opt.MemoryBudget})
+	if err != nil {
+		return nil, err
+	}
+	return DecomposeWith(x, eng, opt)
+}
+
+// DecomposeWith runs CP-ALS with a caller-provided engine (for custom
+// strategies or instrumentation).
+func DecomposeWith(x *Tensor, eng Engine, opt Options) (*Result, error) {
+	return cpd.Run(x, eng, cpd.Options{
+		Rank:        opt.Rank,
+		MaxIters:    opt.MaxIters,
+		Tol:         opt.Tol,
+		Seed:        opt.Seed,
+		Workers:     opt.Workers,
+		Init:        opt.Init,
+		TrackFit:    opt.TrackFit,
+		Ridge:       opt.Ridge,
+		NonNegative: opt.NonNegative,
+		ModeOrder:   opt.ModeOrder,
+	})
+}
+
+// EngineConfig parameterizes NewEngine.
+type EngineConfig struct {
+	// Rank the engine will be used at (the adaptive model needs it; other
+	// engines ignore it). <= 0 defaults to 16.
+	Rank int
+	// Workers is the engine's parallel width (<= 0: GOMAXPROCS).
+	Workers int
+	// MemoryBudget caps the adaptive choice (<= 0: unbounded).
+	MemoryBudget int64
+	// Strategy overrides the memoization tree for the memo engines; nil
+	// uses the kind's default shape.
+	Strategy *Strategy
+	// RetainBuffers keeps memoized value storage allocated across ALS
+	// iterations (steady memory at peak, zero per-iteration allocation).
+	RetainBuffers bool
+}
+
+// NewEngine constructs the MTTKRP kernel of the given kind for x.
+func NewEngine(x *Tensor, kind EngineKind, cfg EngineConfig) (Engine, error) {
+	n := x.Order()
+	switch kind {
+	case EngineCOO:
+		return coo.New(x, cfg.Workers), nil
+	case EngineCSF:
+		return csf.NewAllMode(x, cfg.Workers), nil
+	case EngineCSFOne:
+		return csf.NewSingle(x, cfg.Workers), nil
+	case EngineHiCOO:
+		return hicoo.New(x, cfg.Workers), nil
+	case EngineMemoFlat:
+		return memoEngine(x, cfg, memo.Flat(n), string(kind))
+	case EngineMemoTwoGroup:
+		if n < 2 {
+			return nil, fmt.Errorf("adatm: %s needs order >= 2", kind)
+		}
+		return memoEngine(x, cfg, memo.TwoGroup(n, n/2), string(kind))
+	case EngineMemoBalanced:
+		return memoEngine(x, cfg, memo.Balanced(n), string(kind))
+	case EngineAdaptive:
+		if cfg.Strategy != nil {
+			return memoEngine(x, cfg, cfg.Strategy, string(kind))
+		}
+		plan := PlanFor(x, cfg.Rank, cfg.MemoryBudget)
+		return memoEngine(x, cfg, plan.Chosen.Strategy, fmt.Sprintf("adaptive[%s]", plan.Chosen.Name))
+	default:
+		return nil, fmt.Errorf("adatm: unknown engine kind %q", kind)
+	}
+}
+
+func memoEngine(x *Tensor, cfg EngineConfig, s *Strategy, name string) (Engine, error) {
+	if cfg.Strategy != nil {
+		s = cfg.Strategy
+	}
+	return memo.NewWithConfig(x, s, memo.Config{Workers: cfg.Workers, Name: name, RetainBuffers: cfg.RetainBuffers})
+}
+
+// PlanFor runs the model-driven selection for x at the given rank and
+// memory budget and returns the scored plan (call Plan.String for a report).
+func PlanFor(x *Tensor, rank int, budget int64) *Plan {
+	return model.Select(x, model.Options{Rank: rank, Budget: budget})
+}
+
+// PermPlan is the outcome of permutation-aware selection: the best
+// (mode permutation, strategy) pair.
+type PermPlan = model.PermPlan
+
+// PlanPermutedFor extends PlanFor over candidate mode permutations,
+// unlocking strategies that group non-adjacent modes.
+func PlanPermutedFor(x *Tensor, rank int, budget int64) *PermPlan {
+	return model.SelectPermuted(x, model.Options{Rank: rank, Budget: budget}, nil)
+}
+
+// DecomposePermuted is Decompose with permutation-aware adaptive selection:
+// it picks the best (permutation, strategy) pair, builds the permuted
+// memoized engine, and sweeps the modes in the engine's order. opt.Engine
+// and opt.ModeOrder are ignored.
+func DecomposePermuted(x *Tensor, opt Options) (*Result, error) {
+	pp := PlanPermutedFor(x, opt.Rank, opt.MemoryBudget)
+	eng, err := pp.BuildChosen(x, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	opt.ModeOrder = eng.SweepOrder()
+	return DecomposeWith(x, eng, opt)
+}
+
+// Load reads a tensor from a FROSTT .tns or .tns.gz file, merging duplicate
+// coordinates.
+func Load(path string) (*Tensor, error) {
+	x, err := tensor.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	x.Dedup()
+	return x, nil
+}
+
+// Save writes a tensor to a .tns or .tns.gz file.
+func Save(path string, x *Tensor) error { return tensor.SaveFile(path, x) }
+
+// Generate builds a synthetic tensor from a generator spec; see GenSpec and
+// Profiles.
+func Generate(spec GenSpec) *Tensor { return tensor.Generate(spec) }
+
+// Profiles lists the built-in synthetic dataset profiles mirroring the
+// shapes of the common evaluation tensors.
+func Profiles() []GenSpec { return tensor.Profiles }
+
+// Profile returns the named built-in generator spec.
+func Profile(name string) (GenSpec, error) { return tensor.Profile(name) }
+
+// Reconstruct evaluates the decomposition at one coordinate.
+func Reconstruct(res *Result, idx []Index) float64 { return cpd.Reconstruct(res, idx) }

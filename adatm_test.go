@@ -1,0 +1,247 @@
+package adatm_test
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adatm"
+)
+
+func testTensor(t *testing.T) *adatm.Tensor {
+	t.Helper()
+	return adatm.Generate(adatm.GenSpec{
+		Name: "facade", Dims: []int{40, 30, 20, 10}, NNZ: 5000,
+		Skew: []float64{0.5, 0.5, 0.5, 0.2}, Rank: 3, Noise: 0.05, Seed: 5,
+	})
+}
+
+func TestEngineKindsConstructible(t *testing.T) {
+	x := testTensor(t)
+	for _, kind := range adatm.EngineKinds() {
+		e, err := adatm.NewEngine(x, kind, adatm.EngineConfig{Rank: 8})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if e.Name() == "" {
+			t.Errorf("%s: empty engine name", kind)
+		}
+	}
+}
+
+func TestNewEngineUnknownKind(t *testing.T) {
+	x := testTensor(t)
+	if _, err := adatm.NewEngine(x, "warp-drive", adatm.EngineConfig{}); err == nil {
+		t.Fatal("unknown engine kind accepted")
+	}
+}
+
+func TestDecomposeAllEnginesAgree(t *testing.T) {
+	x := testTensor(t)
+	var ref float64
+	for i, kind := range adatm.EngineKinds() {
+		res, err := adatm.Decompose(x, adatm.Options{Rank: 4, MaxIters: 5, Tol: 1e-12, Seed: 9, Engine: kind})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if i == 0 {
+			ref = res.Fit
+			continue
+		}
+		if math.Abs(res.Fit-ref) > 1e-8 {
+			t.Errorf("%s: fit %.10f != reference %.10f", kind, res.Fit, ref)
+		}
+	}
+}
+
+func TestDecomposeDefaultsToAdaptive(t *testing.T) {
+	x := testTensor(t)
+	res, err := adatm.Decompose(x, adatm.Options{Rank: 4, MaxIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 3 {
+		t.Errorf("iters = %d", res.Iters)
+	}
+}
+
+func TestPlanForBudget(t *testing.T) {
+	x := testTensor(t)
+	plan := adatm.PlanFor(x, 16, 0)
+	if plan.Chosen.Strategy == nil || len(plan.Candidates) < 3 {
+		t.Fatalf("degenerate plan: %+v", plan)
+	}
+	if !strings.Contains(plan.String(), "chosen") {
+		t.Error("plan report does not mark the chosen candidate")
+	}
+	// The adaptive engine built from a custom strategy must honor it.
+	e, err := adatm.NewEngine(x, adatm.EngineAdaptive, adatm.EngineConfig{Rank: 16, Strategy: plan.Candidates[len(plan.Candidates)-1].Strategy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e == nil {
+		t.Fatal("nil engine")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	x := testTensor(t)
+	path := filepath.Join(t.TempDir(), "x.tns.gz")
+	if err := adatm.Save(path, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := adatm.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.NNZ() != x.NNZ() {
+		t.Fatalf("nnz %d != %d after round trip", y.NNZ(), x.NNZ())
+	}
+}
+
+func TestProfilesExposed(t *testing.T) {
+	if len(adatm.Profiles()) == 0 {
+		t.Fatal("no profiles")
+	}
+	if _, err := adatm.Profile("flickr4d"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructExposed(t *testing.T) {
+	x := testTensor(t)
+	res, err := adatm.Decompose(x, adatm.Options{Rank: 3, MaxIters: 4, Seed: 2, Engine: adatm.EngineCSF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := adatm.Reconstruct(res, []adatm.Index{1, 2, 3, 4})
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("non-finite reconstruction %v", v)
+	}
+}
+
+func TestDecomposePermutedMatchesOthers(t *testing.T) {
+	x := testTensor(t)
+	ref, err := adatm.Decompose(x, adatm.Options{Rank: 4, MaxIters: 6, Tol: 1e-12, Seed: 21, Engine: adatm.EngineCSF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adatm.DecomposePermuted(x, adatm.Options{Rank: 4, MaxIters: 6, Tol: 1e-12, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A permuted sweep order changes the ALS trajectory, so the fits need
+	// not match exactly — but both must be finite, plausible fits of the
+	// same data from the same seed.
+	if math.IsNaN(res.Fit) || res.Fit <= -1 || res.Fit > 1 {
+		t.Fatalf("implausible permuted fit %v", res.Fit)
+	}
+	if math.Abs(res.Fit-ref.Fit) > 0.2 {
+		t.Errorf("permuted fit %.4f far from csf fit %.4f", res.Fit, ref.Fit)
+	}
+}
+
+func TestPlanPermutedFor(t *testing.T) {
+	x := testTensor(t)
+	pp := adatm.PlanPermutedFor(x, 8, 0)
+	if len(pp.Candidates) < 3 || pp.Chosen.Plan == nil {
+		t.Fatalf("degenerate permuted plan: %+v", pp)
+	}
+}
+
+func TestModeOrderOption(t *testing.T) {
+	x := testTensor(t)
+	res, err := adatm.Decompose(x, adatm.Options{Rank: 3, MaxIters: 3, Seed: 2, Engine: adatm.EngineCSF, ModeOrder: []int{3, 1, 0, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 3 {
+		t.Errorf("iters = %d", res.Iters)
+	}
+	if _, err := adatm.Decompose(x, adatm.Options{Rank: 3, MaxIters: 1, Engine: adatm.EngineCSF, ModeOrder: []int{0, 0, 1, 2}}); err == nil {
+		t.Error("invalid ModeOrder accepted")
+	}
+}
+
+func TestModelSaveLoadFacade(t *testing.T) {
+	x := testTensor(t)
+	res, err := adatm.Decompose(x, adatm.Options{Rank: 3, MaxIters: 3, Seed: 4, Engine: adatm.EngineCSF})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := adatm.SaveModel(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := adatm.LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := []adatm.Index{1, 2, 3, 4}
+	if a, b := adatm.Reconstruct(res, idx), adatm.Reconstruct(got, idx); a != b {
+		t.Errorf("reloaded model reconstructs %g, original %g", b, a)
+	}
+}
+
+func TestDecomposeAPRFacade(t *testing.T) {
+	x := testTensor(t)
+	for k := range x.Vals {
+		if x.Vals[k] < 0 {
+			x.Vals[k] = -x.Vals[k]
+		}
+	}
+	res, err := adatm.DecomposeAPR(x, adatm.APROptions{Rank: 3, MaxIters: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.LogLik) {
+		t.Fatal("NaN log-likelihood")
+	}
+	if v := adatm.PredictAPR(res, []adatm.Index{0, 0, 0, 0}); v < 0 || math.IsNaN(v) {
+		t.Errorf("implausible APR rate %g", v)
+	}
+}
+
+func TestNVecsInitFacade(t *testing.T) {
+	x := testTensor(t)
+	init := adatm.NVecsInit(x, 3, 2, 1, 0)
+	res, err := adatm.Decompose(x, adatm.Options{Rank: 3, MaxIters: 3, Engine: adatm.EngineCSF, Init: init})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 3 {
+		t.Errorf("iters = %d", res.Iters)
+	}
+}
+
+func TestRetainBuffersFacade(t *testing.T) {
+	x := testTensor(t)
+	eng, err := adatm.NewEngine(x, adatm.EngineMemoBalanced, adatm.EngineConfig{Rank: 4, RetainBuffers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := adatm.DecomposeWith(x, eng, adatm.Options{Rank: 4, MaxIters: 4, Tol: 1e-12, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := adatm.Decompose(x, adatm.Options{Rank: 4, MaxIters: 4, Tol: 1e-12, Seed: 21, Engine: adatm.EngineMemoBalanced})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Fit-ref.Fit) > 1e-10 {
+		t.Errorf("retain-buffers fit %.12f differs from default %.12f", res.Fit, ref.Fit)
+	}
+}
+
+func TestMemoryBudgetPlumbing(t *testing.T) {
+	x := testTensor(t)
+	// A tiny budget must still produce a working engine (fallback strategy).
+	res, err := adatm.Decompose(x, adatm.Options{Rank: 4, MaxIters: 2, Engine: adatm.EngineAdaptive, MemoryBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 2 {
+		t.Errorf("iters = %d", res.Iters)
+	}
+}

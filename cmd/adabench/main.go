@@ -1,0 +1,57 @@
+// Command adabench runs the reproduction's experiment suite (DESIGN.md §3)
+// and prints the paper-style tables.
+//
+// Usage:
+//
+//	adabench                 # run everything at full scale
+//	adabench -quick          # ~8x smaller datasets
+//	adabench -exp E3,E7      # run a subset
+//	adabench -markdown       # emit markdown tables (for EXPERIMENTS.md)
+//	adabench -rank 32        # override the default rank
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"adatm/internal/exp"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "run on ~8x smaller datasets")
+		expList  = flag.String("exp", "", "comma-separated experiment ids (default: all); known: "+strings.Join(exp.IDs(), ","))
+		markdown = flag.Bool("markdown", false, "render tables as markdown")
+		rank     = flag.Int("rank", 16, "CP rank for non-sweeping experiments")
+		workers  = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", 0, "dataset seed offset")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Quick: *quick, Workers: *workers, Rank: *rank, Seed: *seed}
+	runners := exp.Registry()
+	if *expList != "" {
+		runners = runners[:0]
+		for _, id := range strings.Split(*expList, ",") {
+			r := exp.Find(strings.TrimSpace(id))
+			if r == nil {
+				fmt.Fprintf(os.Stderr, "adabench: unknown experiment %q (known: %s)\n", id, strings.Join(exp.IDs(), ", "))
+				os.Exit(2)
+			}
+			runners = append(runners, *r)
+		}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		table := r.Run(cfg)
+		if *markdown {
+			table.Markdown(os.Stdout)
+		} else {
+			table.Render(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

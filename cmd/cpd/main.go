@@ -1,0 +1,209 @@
+// Command cpd computes a sparse CP decomposition of a FROSTT-format tensor.
+//
+// Usage:
+//
+//	cpd -in tensor.tns -rank 16                      # adaptive engine
+//	cpd -in tensor.tns -rank 16 -engine csf          # pick a kernel
+//	cpd -in tensor.tns -rank 16 -budget 512MiB       # cap memoization memory
+//	cpd -in tensor.tns -rank 16 -out factors         # write factors_mode<k>.txt
+//	cpd -in tensor.tns -plan                         # print the model's plan only
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"adatm"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input tensor (.tns or .tns.gz), required")
+		rank     = flag.Int("rank", 16, "decomposition rank")
+		iters    = flag.Int("iters", 50, "maximum ALS iterations")
+		tol      = flag.Float64("tol", 1e-5, "fit-change convergence tolerance")
+		seed     = flag.Int64("seed", 1, "factor initialization seed")
+		workers  = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
+		engName  = flag.String("engine", "adaptive", "engine: coo, csf, csf-one, hicoo, memo-flat, memo-2group, memo-balanced, adaptive")
+		budget   = flag.String("budget", "", "memory budget for the adaptive engine, e.g. 512MiB, 2GiB")
+		outPfx   = flag.String("out", "", "write factor matrices to <out>_mode<k>.txt and lambda to <out>_lambda.txt")
+		plan     = flag.Bool("plan", false, "print the model-driven plan and exit")
+		trace    = flag.Bool("trace", false, "print the fit after every iteration")
+		ridge    = flag.Float64("ridge", 0, "Tikhonov regularization weight")
+		nonneg   = flag.Bool("nonneg", false, "constrain factors to be non-negative")
+		complete = flag.Bool("complete", false, "masked completion: fit observed entries only (ratings semantics)")
+		apr      = flag.Bool("apr", false, "Poisson CP (CP-APR): maximize Poisson likelihood for count data")
+		model    = flag.String("model", "", "write the fitted model (lambda + factors) to this JSON file")
+	)
+	flag.Parse()
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "cpd: -in is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	budgetBytes, err := parseBytes(*budget)
+	if err != nil {
+		fatal(err)
+	}
+	x, err := adatm.Load(*in)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %s\n", x)
+
+	if *plan {
+		fmt.Print(adatm.PlanFor(x, *rank, budgetBytes))
+		return
+	}
+
+	if *apr {
+		res, err := adatm.DecomposeAPR(x, adatm.APROptions{
+			Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers, TrackLL: *trace,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *trace {
+			for i, ll := range res.LLTrace {
+				fmt.Printf("iter %3d  logLik %.4f\n", i+1, ll)
+			}
+		}
+		fmt.Printf("cp-apr rank=%d iters=%d converged=%v logLik=%.4f total=%v\n",
+			*rank, res.Iters, res.Converged, res.LogLik, res.TotalTime.Round(1e6))
+		fmt.Printf("lambda=%v\n", res.Lambda)
+		if *outPfx != "" {
+			for m, f := range res.Factors {
+				if err := writeMatrix(fmt.Sprintf("%s_mode%d.txt", *outPfx, m), f); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		return
+	}
+
+	if *complete {
+		res, err := adatm.Complete(x, adatm.CompleteOptions{
+			Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers,
+			Ridge: *ridge, TrackRMSE: *trace,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if *trace {
+			for i, r := range res.RMSETrace {
+				fmt.Printf("iter %3d  observed RMSE %.8f\n", i+1, r)
+			}
+		}
+		fmt.Printf("completion rank=%d iters=%d converged=%v observed RMSE=%.6f total=%v\n",
+			*rank, res.Iters, res.Converged, res.RMSE, res.TotalTime.Round(1e6))
+		if *outPfx != "" {
+			for m, f := range res.Factors {
+				if err := writeMatrix(fmt.Sprintf("%s_mode%d.txt", *outPfx, m), f); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		return
+	}
+
+	res, err := adatm.Decompose(x, adatm.Options{
+		Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers,
+		Engine: adatm.EngineKind(*engName), MemoryBudget: budgetBytes, TrackFit: *trace,
+		Ridge: *ridge, NonNegative: *nonneg,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *trace {
+		for i, f := range res.FitTrace {
+			fmt.Printf("iter %3d  fit %.8f\n", i+1, f)
+		}
+	}
+	fmt.Printf("engine=%s rank=%d iters=%d converged=%v fit=%.6f\n", *engName, *rank, res.Iters, res.Converged, res.Fit)
+	fmt.Printf("total=%v mttkrp=%v (%.0f%%)\n", res.TotalTime.Round(1e6), res.MTTKRPTime.Round(1e6),
+		100*float64(res.MTTKRPTime)/float64(res.TotalTime))
+	fmt.Printf("lambda=%v\n", res.Lambda)
+
+	if *model != "" {
+		if err := adatm.SaveModel(*model, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote model to %s\n", *model)
+	}
+	if *outPfx != "" {
+		if err := writeVector(*outPfx+"_lambda.txt", res.Lambda); err != nil {
+			fatal(err)
+		}
+		for m, f := range res.Factors {
+			path := fmt.Sprintf("%s_mode%d.txt", *outPfx, m)
+			if err := writeMatrix(path, f); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d factor files with prefix %s\n", len(res.Factors)+1, *outPfx)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cpd:", err)
+	os.Exit(1)
+}
+
+// parseBytes parses "512MiB"/"2GiB"/"1048576" into a byte count.
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, nil
+	}
+	mult := int64(1)
+	up := strings.ToUpper(s)
+	for suffix, m := range map[string]int64{"KIB": 1 << 10, "MIB": 1 << 20, "GIB": 1 << 30, "KB": 1000, "MB": 1e6, "GB": 1e9} {
+		if strings.HasSuffix(up, suffix) {
+			mult = m
+			s = s[:len(s)-len(suffix)]
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad budget %q: %v", s, err)
+	}
+	return int64(v * float64(mult)), nil
+}
+
+func writeVector(path string, v []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for _, x := range v {
+		fmt.Fprintf(w, "%.17g\n", x)
+	}
+	return w.Flush()
+}
+
+func writeMatrix(path string, m *adatm.Matrix) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, x := range row {
+			if j > 0 {
+				fmt.Fprint(w, " ")
+			}
+			fmt.Fprintf(w, "%.17g", x)
+		}
+		fmt.Fprintln(w)
+	}
+	return w.Flush()
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adatm"
+)
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"":        0,
+		"1024":    1024,
+		"1KiB":    1 << 10,
+		"512MiB":  512 << 20,
+		"2GiB":    2 << 30,
+		"1kb":     1000,
+		"1.5MiB":  3 << 19,
+		"0.5GiB":  1 << 29,
+		" 10KiB ": 10 << 10,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q: got %d, want %d", in, got, want)
+		}
+	}
+	for _, bad := range []string{"abc", "12XB", "MiB"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestWriteMatrixAndVector(t *testing.T) {
+	dir := t.TempDir()
+	m := &adatm.Matrix{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}
+	mpath := filepath.Join(dir, "m.txt")
+	if err := writeMatrix(mpath, m); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(mpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 2 || lines[0] != "1 2" || lines[1] != "3 4" {
+		t.Errorf("matrix file: %q", string(data))
+	}
+
+	vpath := filepath.Join(dir, "v.txt")
+	if err := writeVector(vpath, []float64{0.5, -1}); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(vpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "0.5\n-1" {
+		t.Errorf("vector file: %q", string(data))
+	}
+}

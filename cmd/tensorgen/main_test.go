@@ -1,0 +1,37 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("10x20x30")
+	if err != nil || len(d) != 3 || d[2] != 30 {
+		t.Fatalf("got %v, %v", d, err)
+	}
+	if _, err := parseDims("10"); err == nil {
+		t.Error("single dimension accepted")
+	}
+	if _, err := parseDims("10x0x5"); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if _, err := parseDims("10xbad"); err == nil {
+		t.Error("garbage dimension accepted")
+	}
+}
+
+func TestParseSkew(t *testing.T) {
+	s, err := parseSkew("0.5, 0, 1.2", 3)
+	if err != nil || len(s) != 3 || s[2] != 1.2 {
+		t.Fatalf("got %v, %v", s, err)
+	}
+	if s, err := parseSkew("", 3); err != nil || s != nil {
+		t.Error("empty skew should be nil, nil")
+	}
+	if _, err := parseSkew("0.5,0.5", 3); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := parseSkew("-1,0,0", 3); err == nil {
+		t.Error("negative skew accepted")
+	}
+}

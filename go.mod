@@ -1,0 +1,3 @@
+module adatm
+
+go 1.22

@@ -1,0 +1,196 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adatm/internal/tensor"
+)
+
+// poissonCounts samples a sparse count tensor from a planted Poisson CP
+// model (nonzeros only, which is how count data is stored).
+func poissonCounts(dims []int, rank int, mean float64, seed int64) *tensor.COO {
+	rng := rand.New(rand.NewSource(seed))
+	// Planted column-stochastic factors and weights.
+	factors := make([][][]float64, len(dims))
+	for m, d := range dims {
+		f := make([][]float64, d)
+		colSum := make([]float64, rank)
+		for i := range f {
+			row := make([]float64, rank)
+			for j := range row {
+				row[j] = rng.Float64()
+				colSum[j] += row[j]
+			}
+			f[i] = row
+		}
+		for i := range f {
+			for j := range f[i] {
+				f[i][j] /= colSum[j]
+			}
+		}
+		factors[m] = f
+	}
+	total := 1.0
+	for range dims {
+		total *= 1
+	}
+	_ = total
+	x := tensor.NewCOO(dims, 0)
+	idx := make([]tensor.Index, len(dims))
+	// Sample events: each event picks a component then an index per mode
+	// from that component's distribution — exactly the Poisson CP model
+	// with total mass = #events.
+	events := int(mean)
+	for e := 0; e < events; e++ {
+		j := rng.Intn(rank)
+		for m := range dims {
+			idx[m] = tensor.Index(sampleFrom(factors[m], j, rng))
+		}
+		x.Append(idx, 1)
+	}
+	x.Dedup()
+	return x
+}
+
+func sampleFrom(f [][]float64, j int, rng *rand.Rand) int {
+	u := rng.Float64()
+	acc := 0.0
+	for i := range f {
+		acc += f[i][j]
+		if u <= acc {
+			return i
+		}
+	}
+	return len(f) - 1
+}
+
+func TestAPRLogLikelihoodNonDecreasing(t *testing.T) {
+	x := poissonCounts([]int{30, 25, 20}, 3, 20000, 601)
+	res, err := RunAPR(x, APROptions{Rank: 4, MaxIters: 15, Seed: 3, TrackLL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.LLTrace); i++ {
+		if res.LLTrace[i] < res.LLTrace[i-1]-1e-6*math.Abs(res.LLTrace[i-1]) {
+			t.Errorf("log-likelihood dropped at iter %d: %.4f -> %.4f", i, res.LLTrace[i-1], res.LLTrace[i])
+		}
+	}
+}
+
+func TestAPRFactorsStochasticAndNonNegative(t *testing.T) {
+	x := poissonCounts([]int{20, 20, 20}, 2, 8000, 602)
+	res, err := RunAPR(x, APROptions{Rank: 3, MaxIters: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, f := range res.Factors {
+		for j := 0; j < f.Cols; j++ {
+			s := 0.0
+			for i := 0; i < f.Rows; i++ {
+				v := f.At(i, j)
+				if v < 0 {
+					t.Fatalf("negative entry in factor %d", m)
+				}
+				s += v
+			}
+			if math.Abs(s-1) > 1e-9 {
+				t.Errorf("factor %d column %d sums to %.12f", m, j, s)
+			}
+		}
+	}
+	for _, l := range res.Lambda {
+		if l < 0 {
+			t.Fatal("negative lambda")
+		}
+	}
+}
+
+// At a Poisson MLE stationary point the total model mass equals the total
+// observed count: Σ λ ≈ Σ x.
+func TestAPRMassConservation(t *testing.T) {
+	x := poissonCounts([]int{25, 20, 15}, 3, 15000, 603)
+	res, err := RunAPR(x, APROptions{Rank: 3, MaxIters: 40, InnerIter: 8, Seed: 7, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mass := 0.0
+	for _, l := range res.Lambda {
+		mass += l
+	}
+	total := sumVals(x)
+	if math.Abs(mass-total)/total > 0.05 {
+		t.Errorf("model mass %.1f vs observed %.1f (%.1f%% off)", mass, total, 100*math.Abs(mass-total)/total)
+	}
+}
+
+func TestAPRRecoversPlantedStructure(t *testing.T) {
+	// The fitted rates should correlate strongly with the observed counts.
+	x := poissonCounts([]int{30, 25, 20}, 2, 30000, 604)
+	res, err := RunAPR(x, APROptions{Rank: 2, MaxIters: 30, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := make([]tensor.Index, 3)
+	var sx, sy, sxx, syy, sxy float64
+	nn := float64(x.NNZ())
+	for k := 0; k < x.NNZ(); k++ {
+		for m := range idx {
+			idx[m] = x.Inds[m][k]
+		}
+		a := x.Vals[k]
+		b := PredictAPR(res, idx)
+		sx += a
+		sy += b
+		sxx += a * a
+		syy += b * b
+		sxy += a * b
+	}
+	corr := (nn*sxy - sx*sy) / math.Sqrt((nn*sxx-sx*sx)*(nn*syy-sy*sy))
+	if corr < 0.5 {
+		t.Errorf("rate-count correlation %.3f, want strong positive", corr)
+	}
+}
+
+func TestAPRHigherOrder(t *testing.T) {
+	x := poissonCounts([]int{12, 12, 12, 12}, 2, 12000, 605)
+	res, err := RunAPR(x, APROptions{Rank: 2, MaxIters: 15, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.LogLik) || math.IsInf(res.LogLik, 0) {
+		t.Fatal("non-finite log-likelihood")
+	}
+}
+
+func TestAPRValidation(t *testing.T) {
+	x := poissonCounts([]int{5, 5, 5}, 2, 100, 606)
+	if _, err := RunAPR(x, APROptions{Rank: 0}); err == nil {
+		t.Error("Rank 0 accepted")
+	}
+	neg := tensor.NewCOO([]int{3, 3}, 1)
+	neg.Append([]tensor.Index{0, 0}, -1)
+	if _, err := RunAPR(neg, APROptions{Rank: 2}); err == nil {
+		t.Error("negative tensor accepted")
+	}
+	empty := tensor.NewCOO([]int{3, 3}, 0)
+	if _, err := RunAPR(empty, APROptions{Rank: 2}); err == nil {
+		t.Error("empty tensor accepted")
+	}
+}
+
+func TestAPRParallelConsistency(t *testing.T) {
+	x := poissonCounts([]int{20, 20, 20}, 2, 6000, 607)
+	a, err := RunAPR(x, APROptions{Rank: 2, MaxIters: 5, Seed: 13, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAPR(x, APROptions{Rank: 2, MaxIters: 5, Seed: 13, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.LogLik-b.LogLik) > 1e-6*math.Abs(a.LogLik) {
+		t.Errorf("parallel LL %.8f differs from sequential %.8f", b.LogLik, a.LogLik)
+	}
+}

@@ -1,0 +1,162 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adatm/internal/tensor"
+)
+
+// plantObserved samples nnz coordinates uniformly and values them from a
+// random rank-r model (no noise): completion must drive the observed RMSE
+// to ~0 and generalize to held-out coordinates.
+func plantObserved(dims []int, nnz, rank int, seed int64) *tensor.COO {
+	return tensor.LowRank(dims, nnz, rank, 0, seed)
+}
+
+func TestCompleteFitsObservedEntries(t *testing.T) {
+	x := plantObserved([]int{40, 30, 20}, 6000, 3, 301)
+	res, err := Complete(x, CompleteOptions{Rank: 3, MaxIters: 50, Tol: 1e-9, Seed: 5, Ridge: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 1e-3 {
+		t.Errorf("observed RMSE %.6f after %d iters, want ~0 on noiseless low-rank data", res.RMSE, res.Iters)
+	}
+}
+
+func TestCompleteGeneralizes(t *testing.T) {
+	// Same low-rank ground truth split into train/test coordinate sets.
+	full := plantObserved([]int{30, 25, 20}, 9000, 2, 302)
+	rng := rand.New(rand.NewSource(7))
+	train := tensor.NewCOO(full.Dims, full.NNZ())
+	var testIdx [][]tensor.Index
+	var testVals []float64
+	idx := make([]tensor.Index, 3)
+	for k := 0; k < full.NNZ(); k++ {
+		for m := range idx {
+			idx[m] = full.Inds[m][k]
+		}
+		if rng.Float64() < 0.15 {
+			testIdx = append(testIdx, append([]tensor.Index(nil), idx...))
+			testVals = append(testVals, full.Vals[k])
+		} else {
+			train.Append(idx, full.Vals[k])
+		}
+	}
+	res, err := Complete(train, CompleteOptions{Rank: 2, MaxIters: 60, Tol: 1e-10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var se, baseSE, mu float64
+	for _, v := range testVals {
+		mu += v
+	}
+	mu /= float64(len(testVals))
+	for i, coords := range testIdx {
+		d := testVals[i] - res.Predict(coords)
+		se += d * d
+		b := testVals[i] - mu
+		baseSE += b * b
+	}
+	testRMSE := math.Sqrt(se / float64(len(testIdx)))
+	baseRMSE := math.Sqrt(baseSE / float64(len(testIdx)))
+	if testRMSE > baseRMSE/2 {
+		t.Errorf("held-out RMSE %.4f not well below mean baseline %.4f", testRMSE, baseRMSE)
+	}
+}
+
+func TestCompleteRMSEMonotoneOverall(t *testing.T) {
+	x := plantObserved([]int{25, 25, 25}, 5000, 3, 303)
+	res, err := Complete(x, CompleteOptions{Rank: 4, MaxIters: 20, Tol: 1e-12, Seed: 9, TrackRMSE: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.RMSETrace); i++ {
+		if res.RMSETrace[i] > res.RMSETrace[i-1]+1e-8 {
+			t.Errorf("observed RMSE rose at iter %d: %.8f -> %.8f", i, res.RMSETrace[i-1], res.RMSETrace[i])
+		}
+	}
+}
+
+func TestCompleteHigherOrder(t *testing.T) {
+	x := plantObserved([]int{15, 15, 15, 15}, 12000, 2, 304)
+	res, err := Complete(x, CompleteOptions{Rank: 2, MaxIters: 60, Tol: 1e-10, Seed: 11, Ridge: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RMSE > 1e-2 {
+		t.Errorf("order-4 observed RMSE %.5f", res.RMSE)
+	}
+}
+
+func TestCompleteParallelConsistency(t *testing.T) {
+	x := plantObserved([]int{30, 20, 20}, 4000, 3, 305)
+	a, err := Complete(x, CompleteOptions{Rank: 3, MaxIters: 5, Seed: 13, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Complete(x, CompleteOptions{Rank: 3, MaxIters: 5, Seed: 13, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row systems are independent, so the trajectories are bitwise-stable
+	// up to FP reassociation inside each row, which the solver order keeps
+	// deterministic per row.
+	if math.Abs(a.RMSE-b.RMSE) > 1e-9 {
+		t.Errorf("parallel RMSE %.12f differs from sequential %.12f", b.RMSE, a.RMSE)
+	}
+}
+
+func TestCompleteValidation(t *testing.T) {
+	x := plantObserved([]int{5, 5, 5}, 50, 2, 306)
+	if _, err := Complete(x, CompleteOptions{Rank: 0}); err == nil {
+		t.Error("Rank 0 accepted")
+	}
+	empty := tensor.NewCOO([]int{3, 3}, 0)
+	if _, err := Complete(empty, CompleteOptions{Rank: 2}); err == nil {
+		t.Error("empty tensor accepted")
+	}
+}
+
+func TestCompleteUnobservedRowsStayFinite(t *testing.T) {
+	// Row 4 of mode 0 has no observations: its factor row must remain the
+	// (finite) initialization and predictions must stay finite.
+	x := tensor.NewCOO([]int{5, 3, 3}, 3)
+	x.Append([]tensor.Index{0, 0, 0}, 1)
+	x.Append([]tensor.Index{1, 1, 1}, 2)
+	x.Append([]tensor.Index{2, 2, 2}, 3)
+	res, err := Complete(x, CompleteOptions{Rank: 2, MaxIters: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := res.Predict([]tensor.Index{4, 1, 1})
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("prediction for unobserved row not finite: %v", v)
+	}
+}
+
+func TestBuildRowIndexGroups(t *testing.T) {
+	x := tensor.NewCOO([]int{4, 2}, 5)
+	x.Append([]tensor.Index{2, 0}, 1)
+	x.Append([]tensor.Index{0, 1}, 2)
+	x.Append([]tensor.Index{2, 1}, 3)
+	x.Append([]tensor.Index{3, 0}, 4)
+	x.Append([]tensor.Index{0, 0}, 5)
+	ri := buildRowIndex(x, 0)
+	if ri.ptr[0] != 0 || ri.ptr[4+0] != 5 {
+		t.Fatalf("ptr = %v", ri.ptr)
+	}
+	// Row 1 empty, rows 0 and 2 have two entries each.
+	if ri.ptr[1]-ri.ptr[0] != 2 || ri.ptr[2]-ri.ptr[1] != 0 || ri.ptr[3]-ri.ptr[2] != 2 || ri.ptr[4]-ri.ptr[3] != 1 {
+		t.Fatalf("row sizes wrong: %v", ri.ptr)
+	}
+	for i := 0; i < 4; i++ {
+		for e := ri.ptr[i]; e < ri.ptr[i+1]; e++ {
+			if int(x.Inds[0][ri.elems[e]]) != i {
+				t.Fatalf("element %d grouped under wrong row %d", ri.elems[e], i)
+			}
+		}
+	}
+}

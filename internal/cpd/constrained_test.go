@@ -1,0 +1,112 @@
+package cpd
+
+import (
+	"math"
+	"testing"
+
+	"adatm/internal/coo"
+	"adatm/internal/csf"
+	"adatm/internal/tensor"
+)
+
+func TestNonNegativeFactorsStayNonNegative(t *testing.T) {
+	x := tensor.DenseLowRank([]int{12, 10, 8}, 3, 0, 201) // non-negative by construction
+	for name, eng := range engines(x) {
+		res, err := Run(x, eng, Options{Rank: 4, MaxIters: 30, Tol: 1e-8, Seed: 3, NonNegative: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for m, f := range res.Factors {
+			for _, v := range f.Data {
+				if v < 0 {
+					t.Fatalf("%s: negative entry %g in factor %d", name, v, m)
+				}
+			}
+		}
+		for _, l := range res.Lambda {
+			if l < 0 {
+				t.Fatalf("%s: negative lambda %g", name, l)
+			}
+		}
+	}
+}
+
+func TestNonNegativeFitsNonNegativeData(t *testing.T) {
+	x := tensor.DenseLowRank([]int{12, 10, 8}, 2, 0, 202)
+	res, err := Run(x, coo.New(x, 1), Options{Rank: 4, MaxIters: 300, Tol: 1e-10, Seed: 5, NonNegative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Multiplicative updates converge slowly; 0.97 is a solid recovery gate.
+	if res.Fit < 0.97 {
+		t.Errorf("nonnegative fit %.4f after %d iters", res.Fit, res.Iters)
+	}
+}
+
+func TestNonNegativeRejectsNegativeTensor(t *testing.T) {
+	x := tensor.NewCOO([]int{3, 3}, 2)
+	x.Append([]tensor.Index{0, 0}, 1)
+	x.Append([]tensor.Index{1, 2}, -1)
+	if _, err := Run(x, coo.New(x, 1), Options{Rank: 2, NonNegative: true}); err == nil {
+		t.Fatal("negative tensor accepted in NonNegative mode")
+	}
+}
+
+func TestNonNegativeFitMostlyMonotone(t *testing.T) {
+	x := tensor.DenseLowRank([]int{10, 10, 10}, 3, 0, 203)
+	res, err := Run(x, csf.NewAllMode(x, 2), Options{Rank: 4, MaxIters: 40, Tol: 1e-12, Seed: 7, NonNegative: true, TrackFit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.FitTrace); i++ {
+		if res.FitTrace[i] < res.FitTrace[i-1]-1e-5 {
+			t.Errorf("fit dropped at iter %d: %.8f -> %.8f", i, res.FitTrace[i-1], res.FitTrace[i])
+		}
+	}
+}
+
+func TestRidgeShrinksSolution(t *testing.T) {
+	x := tensor.RandomClustered(3, 10, 300, 0.5, 204)
+	plain, err := Run(x, coo.New(x, 1), Options{Rank: 4, MaxIters: 10, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ridged, err := Run(x, coo.New(x, 1), Options{Rank: 4, MaxIters: 10, Seed: 9, Ridge: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	normOf := func(r *Result) float64 {
+		s := 0.0
+		for _, l := range r.Lambda {
+			s += l * l
+		}
+		return math.Sqrt(s)
+	}
+	if normOf(ridged) >= normOf(plain) {
+		t.Errorf("ridge did not shrink component weights: %g vs %g", normOf(ridged), normOf(plain))
+	}
+	// Heavy ridge necessarily lowers the training fit.
+	if ridged.Fit > plain.Fit {
+		t.Errorf("ridged fit %.4f above unregularized %.4f", ridged.Fit, plain.Fit)
+	}
+}
+
+func TestRidgeStabilizesRankDeficiency(t *testing.T) {
+	// Rank far above the data's information content makes H nearly
+	// singular; ridge must keep everything finite.
+	x := tensor.NewCOO([]int{4, 4, 4}, 3)
+	x.Append([]tensor.Index{0, 0, 0}, 1)
+	x.Append([]tensor.Index{1, 1, 1}, 2)
+	x.Append([]tensor.Index{2, 2, 2}, 3)
+	res, err := Run(x, coo.New(x, 1), Options{Rank: 8, MaxIters: 20, Seed: 11, Ridge: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range res.Factors {
+		for _, v := range f.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatal("non-finite factor entry under ridge")
+			}
+		}
+	}
+}

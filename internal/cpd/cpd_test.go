@@ -1,0 +1,214 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adatm/internal/coo"
+	"adatm/internal/csf"
+	"adatm/internal/dense"
+	"adatm/internal/engine"
+	"adatm/internal/hicoo"
+	"adatm/internal/memo"
+	"adatm/internal/tensor"
+)
+
+func engines(x *tensor.COO) map[string]engine.Engine {
+	out := map[string]engine.Engine{
+		"coo":     coo.New(x, 2),
+		"csf":     csf.NewAllMode(x, 2),
+		"csf-one": csf.NewSingle(x, 2),
+		"hicoo":   hicoo.New(x, 2),
+	}
+	for name, s := range map[string]*memo.Strategy{
+		"memo-flat":     memo.Flat(x.Order()),
+		"memo-balanced": memo.Balanced(x.Order()),
+	} {
+		e, err := memo.New(x, s, 2, name)
+		if err != nil {
+			panic(err)
+		}
+		out[name] = e
+	}
+	return out
+}
+
+func TestRecoversExactLowRankTensor(t *testing.T) {
+	// A noiseless rank-3 tensor must be fit almost perfectly at rank >= 3.
+	x := tensor.DenseLowRank([]int{12, 10, 8}, 3, 0, 101)
+	for name, eng := range engines(x) {
+		res, err := Run(x, eng, Options{Rank: 3, MaxIters: 200, Tol: 1e-10, Seed: 7})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Fit < 0.999 {
+			t.Errorf("%s: fit %.6f after %d iters, want ~1", name, res.Fit, res.Iters)
+		}
+	}
+}
+
+func TestFitFormulaMatchesExactResidual(t *testing.T) {
+	x := tensor.RandomClustered(3, 12, 400, 0.6, 102)
+	eng := coo.New(x, 1)
+	res, err := Run(x, eng, Options{Rank: 4, MaxIters: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ResidualNorm(x, res)
+	fitExact := 1 - exact/x.Norm()
+	if math.Abs(res.Fit-fitExact) > 1e-6 {
+		t.Errorf("fast fit %.8f vs exact %.8f", res.Fit, fitExact)
+	}
+}
+
+func TestFitMonotoneNonDecreasing(t *testing.T) {
+	x := tensor.DenseLowRank([]int{10, 9, 8, 7}, 4, 0.05, 103)
+	for name, eng := range engines(x) {
+		res, err := Run(x, eng, Options{Rank: 6, MaxIters: 25, Tol: 1e-12, Seed: 9, TrackFit: true})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := 1; i < len(res.FitTrace); i++ {
+			if res.FitTrace[i] < res.FitTrace[i-1]-1e-7 {
+				t.Errorf("%s: fit decreased at iter %d: %.9f -> %.9f", name, i, res.FitTrace[i-1], res.FitTrace[i])
+			}
+		}
+	}
+}
+
+// Every engine must produce an identical decomposition from identical
+// initial factors: the ALS trajectory depends only on the MTTKRP values.
+func TestEnginesAgreeOnTrajectory(t *testing.T) {
+	x := tensor.RandomClustered(4, 10, 800, 0.8, 104)
+	rng := rand.New(rand.NewSource(11))
+	init := make([]*dense.Matrix, 4)
+	for m := range init {
+		init[m] = dense.Random(x.Dims[m], 6, rng)
+	}
+	var first *Result
+	var firstName string
+	for name, eng := range engines(x) {
+		res, err := Run(x, eng, Options{Rank: 6, MaxIters: 8, Tol: 1e-14, Init: init})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if first == nil {
+			first, firstName = res, name
+			continue
+		}
+		if math.Abs(res.Fit-first.Fit) > 1e-8 {
+			t.Errorf("%s fit %.10f differs from %s fit %.10f", name, res.Fit, firstName, first.Fit)
+		}
+		for m := range res.Factors {
+			if d := res.Factors[m].MaxAbsDiff(first.Factors[m]); d > 1e-6 {
+				t.Errorf("%s factor %d differs from %s by %g", name, m, firstName, d)
+			}
+		}
+		for r := range res.Lambda {
+			if math.Abs(res.Lambda[r]-first.Lambda[r]) > 1e-6*(1+math.Abs(first.Lambda[r])) {
+				t.Errorf("%s lambda differs: %v vs %v", name, res.Lambda, first.Lambda)
+			}
+		}
+	}
+}
+
+func TestConvergenceFlag(t *testing.T) {
+	x := tensor.DenseLowRank([]int{10, 10, 10}, 2, 0, 105)
+	res, err := Run(x, coo.New(x, 1), Options{Rank: 4, MaxIters: 100, Tol: 1e-7, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("did not converge in %d iters (fit %.6f)", res.Iters, res.Fit)
+	}
+	if res.Iters >= 100 {
+		t.Error("used all iterations despite convergence")
+	}
+}
+
+func TestFactorShapesAndNormalization(t *testing.T) {
+	x := tensor.RandomUniform(3, 12, 300, 106)
+	res, err := Run(x, coo.New(x, 1), Options{Rank: 5, MaxIters: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Lambda) != 5 || len(res.Factors) != 3 {
+		t.Fatalf("shapes: lambda=%d factors=%d", len(res.Lambda), len(res.Factors))
+	}
+	for m, f := range res.Factors {
+		if f.Rows != x.Dims[m] || f.Cols != 5 {
+			t.Errorf("factor %d is %dx%d", m, f.Rows, f.Cols)
+		}
+	}
+	// Only the final factor is guaranteed unit-norm columns (its norms were
+	// pulled into lambda last).
+	norms := dense.ColumnNorms(res.Factors[2])
+	for r, n := range norms {
+		if n > 0 && math.Abs(n-1) > 1e-9 {
+			t.Errorf("final factor column %d norm %.12f", r, n)
+		}
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	x := tensor.RandomUniform(3, 5, 20, 107)
+	if _, err := Run(x, coo.New(x, 1), Options{Rank: 0}); err == nil {
+		t.Error("Rank 0 accepted")
+	}
+	empty := tensor.NewCOO([]int{3, 3}, 0)
+	if _, err := Run(empty, coo.New(empty, 1), Options{Rank: 2}); err == nil {
+		t.Error("empty tensor accepted")
+	}
+	bad := []*dense.Matrix{dense.New(5, 2), dense.New(5, 2), dense.New(5, 2)}
+	if _, err := Run(x, coo.New(x, 1), Options{Rank: 3, Init: bad}); err == nil {
+		t.Error("mis-shaped init accepted")
+	}
+	if _, err := Run(x, coo.New(x, 1), Options{Rank: 2, Init: bad[:2]}); err == nil {
+		t.Error("short init list accepted")
+	}
+}
+
+func TestReconstructMatchesDefinition(t *testing.T) {
+	x := tensor.RandomUniform(3, 6, 50, 108)
+	res, err := Run(x, coo.New(x, 1), Options{Rank: 3, MaxIters: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := []tensor.Index{2, 3, 1}
+	want := 0.0
+	for r := 0; r < 3; r++ {
+		p := res.Lambda[r]
+		for m := 0; m < 3; m++ {
+			p *= res.Factors[m].At(int(idx[m]), r)
+		}
+		want += p
+	}
+	if got := Reconstruct(res, idx); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Reconstruct = %g, want %g", got, want)
+	}
+}
+
+func TestHighOrderDecomposition(t *testing.T) {
+	x := tensor.DenseLowRank([]int{6, 6, 6, 6, 6, 6}, 2, 0, 109)
+	eng, err := memo.New(x, memo.Balanced(6), 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(x, eng, Options{Rank: 4, MaxIters: 60, Tol: 1e-9, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fit < 0.99 {
+		t.Errorf("order-6 fit %.4f, want >= 0.99", res.Fit)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	x := tensor.RandomUniform(3, 10, 200, 110)
+	a, _ := Run(x, coo.New(x, 1), Options{Rank: 3, MaxIters: 5, Seed: 42})
+	b, _ := Run(x, coo.New(x, 1), Options{Rank: 3, MaxIters: 5, Seed: 42})
+	if a.Fit != b.Fit {
+		t.Errorf("same seed, different fits: %v vs %v", a.Fit, b.Fit)
+	}
+}

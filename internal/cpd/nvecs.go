@@ -1,0 +1,172 @@
+package cpd
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"adatm/internal/dense"
+	"adatm/internal/par"
+	"adatm/internal/tensor"
+)
+
+// HOSVD-style factor initialization ("nvecs"): the leading R left singular
+// vectors of each matricization X_(n), approximated by block power
+// iteration on S = X_(n)·X_(n)ᵀ. Neither S (I_n × I_n) nor the
+// matricization (I_n × Πother) is ever formed: one application of S streams
+// the nonzeros twice through a per-mode column-id array (the id of each
+// nonzero's complement index tuple). Literature-standard for CP-ALS when a
+// better-than-random starting point is wanted.
+
+// columnIDs assigns every nonzero the dense id of its complement tuple
+// (all modes except mode), returning the ids and the number of distinct
+// columns.
+func columnIDs(x *tensor.COO, mode int) (ids []int32, ncols int) {
+	nnz := x.NNZ()
+	perm := make([]int, nnz)
+	for i := range perm {
+		perm[i] = i
+	}
+	rest := make([]int, 0, x.Order()-1)
+	for m := 0; m < x.Order(); m++ {
+		if m != mode {
+			rest = append(rest, m)
+		}
+	}
+	sort.Slice(perm, func(a, b int) bool {
+		ka, kb := perm[a], perm[b]
+		for _, m := range rest {
+			ia, ib := x.Inds[m][ka], x.Inds[m][kb]
+			if ia != ib {
+				return ia < ib
+			}
+		}
+		return false
+	})
+	same := func(a, b int) bool {
+		for _, m := range rest {
+			if x.Inds[m][a] != x.Inds[m][b] {
+				return false
+			}
+		}
+		return true
+	}
+	ids = make([]int32, nnz)
+	col := int32(-1)
+	for i, k := range perm {
+		if i == 0 || !same(perm[i-1], k) {
+			col++
+		}
+		ids[k] = col
+	}
+	return ids, int(col) + 1
+}
+
+// NVecs approximates the leading r left singular vectors of X_(mode) with
+// iters rounds of block power iteration (orthonormalized each round).
+func NVecs(x *tensor.COO, mode, r, iters int, seed int64, workers int) *dense.Matrix {
+	if iters <= 0 {
+		iters = 3
+	}
+	ids, ncols := columnIDs(x, mode)
+	rows := x.Dims[mode]
+	rng := rand.New(rand.NewSource(seed))
+	v := dense.Random(rows, r, rng)
+	for i := range v.Data {
+		v.Data[i] -= 0.5 // signed start exposes all singular directions
+	}
+	orthonormalize(v)
+	z := dense.New(ncols, r)
+	w := dense.New(rows, r)
+	ind := x.Inds[mode]
+	stripesZ := par.NewStripes(1024)
+	stripesW := par.NewStripes(1024)
+	for it := 0; it < iters; it++ {
+		// Z = X_(mode)ᵀ · V.
+		z.Zero()
+		par.ForRange(x.NNZ(), workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				val := x.Vals[k]
+				src := v.Row(int(ind[k]))
+				c := ids[k]
+				stripesZ.Lock(c)
+				dst := z.Row(int(c))
+				for j := range dst {
+					dst[j] += val * src[j]
+				}
+				stripesZ.Unlock(c)
+			}
+		})
+		// W = X_(mode) · Z.
+		w.Zero()
+		par.ForRange(x.NNZ(), workers, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				val := x.Vals[k]
+				src := z.Row(int(ids[k]))
+				i := ind[k]
+				stripesW.Lock(i)
+				dst := w.Row(int(i))
+				for j := range dst {
+					dst[j] += val * src[j]
+				}
+				stripesW.Unlock(i)
+			}
+		})
+		v.CopyFrom(w)
+		orthonormalize(v)
+	}
+	return v
+}
+
+// NVecsInit builds HOSVD-style initial factors for every mode.
+func NVecsInit(x *tensor.COO, rank, iters int, seed int64, workers int) []*dense.Matrix {
+	out := make([]*dense.Matrix, x.Order())
+	for m := range out {
+		out[m] = NVecs(x, m, rank, iters, seed+int64(m), workers)
+	}
+	return out
+}
+
+// orthonormalize applies modified Gram–Schmidt to the columns of v. Columns
+// that collapse to (numerical) zero are re-randomized against a fixed
+// deterministic pattern and re-orthogonalized once.
+func orthonormalize(v *dense.Matrix) {
+	rows, cols := v.Rows, v.Cols
+	colDot := func(a, b int) float64 {
+		s := 0.0
+		for i := 0; i < rows; i++ {
+			s += v.At(i, a) * v.At(i, b)
+		}
+		return s
+	}
+	for j := 0; j < cols; j++ {
+		for p := 0; p < j; p++ {
+			d := colDot(p, j)
+			for i := 0; i < rows; i++ {
+				v.Set(i, j, v.At(i, j)-d*v.At(i, p))
+			}
+		}
+		norm := math.Sqrt(colDot(j, j))
+		if norm < 1e-12 {
+			// Degenerate column: replace with a deterministic pattern and
+			// orthogonalize it against the previous columns.
+			for i := 0; i < rows; i++ {
+				v.Set(i, j, math.Cos(float64(i*(j+3)+1)))
+			}
+			for p := 0; p < j; p++ {
+				d := colDot(p, j)
+				for i := 0; i < rows; i++ {
+					v.Set(i, j, v.At(i, j)-d*v.At(i, p))
+				}
+			}
+			norm = math.Sqrt(colDot(j, j))
+			if norm < 1e-12 {
+				norm = 1
+			}
+		}
+		inv := 1 / norm
+		for i := 0; i < rows; i++ {
+			v.Set(i, j, v.At(i, j)*inv)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package cpd
+
+import (
+	"math"
+	"testing"
+
+	"adatm/internal/coo"
+	"adatm/internal/dense"
+	"adatm/internal/ref"
+	"adatm/internal/tensor"
+)
+
+func TestColumnIDsGroupComplementTuples(t *testing.T) {
+	x := tensor.NewCOO([]int{3, 2, 2}, 5)
+	x.Append([]tensor.Index{0, 0, 0}, 1)
+	x.Append([]tensor.Index{1, 0, 0}, 2) // same (j,k) as above -> same column
+	x.Append([]tensor.Index{0, 1, 0}, 3)
+	x.Append([]tensor.Index{2, 1, 0}, 4) // same column as previous
+	x.Append([]tensor.Index{0, 1, 1}, 5)
+	ids, ncols := columnIDs(x, 0)
+	if ncols != 3 {
+		t.Fatalf("ncols = %d, want 3", ncols)
+	}
+	if ids[0] != ids[1] || ids[2] != ids[3] || ids[0] == ids[2] || ids[4] == ids[2] {
+		t.Errorf("grouping wrong: %v", ids)
+	}
+}
+
+func TestOrthonormalize(t *testing.T) {
+	v := dense.FromRows([][]float64{{1, 1, 0}, {1, 0, 1}, {0, 1, 1}, {1, 1, 1}})
+	orthonormalize(v)
+	g := dense.Gram(v, nil, 1)
+	if d := g.MaxAbsDiff(dense.Identity(3)); d > 1e-10 {
+		t.Errorf("VᵀV deviates from I by %g", d)
+	}
+}
+
+func TestOrthonormalizeDegenerateColumns(t *testing.T) {
+	// Two identical columns: the second must be replaced, not left as zero.
+	v := dense.FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	orthonormalize(v)
+	g := dense.Gram(v, nil, 1)
+	if d := g.MaxAbsDiff(dense.Identity(2)); d > 1e-10 {
+		t.Errorf("degenerate input: VᵀV deviates by %g", d)
+	}
+}
+
+// NVecs must capture the dominant left singular subspace: on a (dense,
+// small) tensor, S·V ≈ V·(VᵀSV) for the converged subspace, i.e. the
+// residual of the subspace iteration is small relative to the top
+// eigenvalue.
+func TestNVecsCapturesDominantSubspace(t *testing.T) {
+	x := tensor.LowRank([]int{12, 10, 8}, 600, 2, 0.01, 701)
+	r := 2
+	v := NVecs(x, 0, r, 12, 3, 2)
+	// Build S = X_(0) X_(0)ᵀ explicitly through the dense reference.
+	data, err := x.ToDense(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xm := ref.Matricize(data, x.Dims, 0)
+	s := dense.MatMul(xm, xm.Transpose(), nil, 1)
+	sv := dense.MatMul(s, v, nil, 1)
+	// Rayleigh quotient matrix and residual ‖SV − V(VᵀSV)‖.
+	vtsv := dense.MatMul(v.Transpose(), sv, nil, 1)
+	vq := dense.MatMul(v, vtsv, nil, 1)
+	res := sv.MaxAbsDiff(vq)
+	// Scale by the dominant eigenvalue estimate.
+	scale := math.Abs(vtsv.At(0, 0)) + math.Abs(vtsv.At(1, 1))
+	if res > 0.02*scale {
+		t.Errorf("subspace residual %g vs scale %g", res, scale)
+	}
+}
+
+func TestNVecsInitSpeedsConvergence(t *testing.T) {
+	// On a planted low-rank tensor, nvecs init must reach a high fit in
+	// fewer iterations than random init (or at least match it).
+	x := tensor.DenseLowRank([]int{14, 12, 10}, 3, 0.01, 702)
+	itersTo := func(init []*dense.Matrix) int {
+		res, err := Run(x, coo.New(x, 1), Options{Rank: 3, MaxIters: 60, Tol: 1e-12, Seed: 5, Init: init, TrackFit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, f := range res.FitTrace {
+			if f > 0.995 {
+				return i + 1
+			}
+		}
+		return len(res.FitTrace) + 1
+	}
+	random := itersTo(nil)
+	nv := itersTo(NVecsInit(x, 3, 5, 9, 2))
+	if nv > random {
+		t.Errorf("nvecs init took %d iterations, random took %d", nv, random)
+	}
+}
+
+func TestNVecsShapes(t *testing.T) {
+	x := tensor.RandomClustered(4, 15, 400, 0.5, 703)
+	fs := NVecsInit(x, 5, 2, 1, 2)
+	if len(fs) != 4 {
+		t.Fatalf("%d factors", len(fs))
+	}
+	for m, f := range fs {
+		if f.Rows != x.Dims[m] || f.Cols != 5 {
+			t.Errorf("factor %d is %dx%d", m, f.Rows, f.Cols)
+		}
+		g := dense.Gram(f, nil, 1)
+		if d := g.MaxAbsDiff(dense.Identity(5)); d > 1e-8 {
+			t.Errorf("factor %d not orthonormal (dev %g)", m, d)
+		}
+	}
+}

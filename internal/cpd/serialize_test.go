@@ -1,0 +1,72 @@
+package cpd
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adatm/internal/coo"
+	"adatm/internal/tensor"
+)
+
+func TestModelRoundTrip(t *testing.T) {
+	x := tensor.RandomClustered(3, 12, 300, 0.5, 901)
+	res, err := Run(x, coo.New(x, 1), Options{Rank: 4, MaxIters: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(path, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range res.Lambda {
+		if got.Lambda[r] != res.Lambda[r] {
+			t.Fatalf("lambda changed: %v vs %v", got.Lambda, res.Lambda)
+		}
+	}
+	for m := range res.Factors {
+		if d := got.Factors[m].MaxAbsDiff(res.Factors[m]); d != 0 {
+			t.Fatalf("factor %d changed by %g", m, d)
+		}
+	}
+	// The reloaded model must reconstruct identically.
+	idx := []tensor.Index{1, 2, 3}
+	if a, b := Reconstruct(res, idx), Reconstruct(got, idx); math.Abs(a-b) > 0 {
+		t.Fatalf("reconstruction differs: %g vs %g", a, b)
+	}
+}
+
+func TestReadModelRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "hello",
+		"wrong format":   `{"format":"other/v9","order":1,"rank":1,"factors":[{"rows":1,"cols":1,"data":[1]}]}`,
+		"order mismatch": `{"format":"adatm-cp/v1","order":2,"rank":1,"factors":[{"rows":1,"cols":1,"data":[1]}]}`,
+		"ragged data":    `{"format":"adatm-cp/v1","order":1,"rank":2,"factors":[{"rows":2,"cols":2,"data":[1,2,3]}]}`,
+		"bad lambda":     `{"format":"adatm-cp/v1","order":1,"rank":2,"lambda":[1],"factors":[{"rows":1,"cols":2,"data":[1,2]}]}`,
+		"zero order":     `{"format":"adatm-cp/v1","order":0,"rank":1,"factors":[]}`,
+	}
+	for name, in := range cases {
+		if _, _, err := ReadModel(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteModelValidates(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, nil, nil); err == nil {
+		t.Error("empty factor list accepted")
+	}
+}
+
+func TestLoadModelMissingFile(t *testing.T) {
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "none.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,57 @@
+package csf
+
+import (
+	"fmt"
+	"testing"
+
+	"adatm/internal/dense"
+	"adatm/internal/par"
+	"adatm/internal/tensor"
+)
+
+func benchTensor(order int) *tensor.COO {
+	return tensor.RandomClustered(order, 4096, 100000, 0.8, int64(order))
+}
+
+func BenchmarkBuild(b *testing.B) {
+	for _, order := range []int{3, 4, 6} {
+		x := benchTensor(order)
+		mo := make([]int, order)
+		for i := range mo {
+			mo[i] = i
+		}
+		b.Run(fmt.Sprintf("order%d", order), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Build(x, mo)
+			}
+			b.ReportMetric(float64(x.NNZ()), "nnz")
+		})
+	}
+}
+
+func BenchmarkRootKernel(b *testing.B) {
+	x := benchTensor(4)
+	fs := randomFactors(x, 16, 7)
+	t := Build(x, []int{0, 1, 2, 3})
+	out := dense.New(x.Dims[0], 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.MTTKRPRoot(fs, out, 0)
+	}
+}
+
+func BenchmarkLevelKernel(b *testing.B) {
+	x := benchTensor(4)
+	fs := randomFactors(x, 16, 9)
+	t := Build(x, []int{0, 1, 2, 3})
+	stripes := par.NewStripes(1024)
+	for _, level := range []int{1, 2, 3} {
+		mode := level
+		out := dense.New(x.Dims[mode], 16)
+		b.Run(fmt.Sprintf("level%d", level), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t.MTTKRPLevel(level, fs, out, 0, stripes)
+			}
+		})
+	}
+}

@@ -1,0 +1,154 @@
+package csf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adatm/internal/dense"
+	"adatm/internal/ref"
+	"adatm/internal/tensor"
+)
+
+func randomFactors(x *tensor.COO, r int, seed int64) []*dense.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	fs := make([]*dense.Matrix, x.Order())
+	for m := range fs {
+		fs[m] = dense.Random(x.Dims[m], r, rng)
+	}
+	return fs
+}
+
+func TestBuildStructure(t *testing.T) {
+	// Tensor with shared fibers: (0,0,0), (0,0,1), (0,1,0), (1,0,0).
+	x := tensor.NewCOO([]int{2, 2, 2}, 4)
+	x.Append([]tensor.Index{0, 0, 0}, 1)
+	x.Append([]tensor.Index{0, 0, 1}, 2)
+	x.Append([]tensor.Index{0, 1, 0}, 3)
+	x.Append([]tensor.Index{1, 0, 0}, 4)
+	c := Build(x, []int{0, 1, 2})
+	nodes := c.NNodes()
+	if nodes[0] != 2 { // roots 0 and 1
+		t.Errorf("level 0 nodes = %d, want 2", nodes[0])
+	}
+	if nodes[1] != 3 { // fibers (0,0), (0,1), (1,0)
+		t.Errorf("level 1 nodes = %d, want 3", nodes[1])
+	}
+	if nodes[2] != 4 {
+		t.Errorf("level 2 nodes = %d, want 4 (nnz)", nodes[2])
+	}
+	if len(c.Vals) != 4 {
+		t.Errorf("vals = %d", len(c.Vals))
+	}
+	// Pointer sentinels close each level.
+	if c.Ptr[0][len(c.Ptr[0])-1] != int64(nodes[1]) {
+		t.Error("level-0 sentinel wrong")
+	}
+	if c.Ptr[1][len(c.Ptr[1])-1] != int64(nodes[2]) {
+		t.Error("level-1 sentinel wrong")
+	}
+}
+
+func TestRootKernelMatchesDenseReference(t *testing.T) {
+	x := tensor.RandomUniform(3, 8, 60, 21)
+	fs := randomFactors(x, 5, 22)
+	e := NewAllMode(x, 2)
+	for mode := 0; mode < 3; mode++ {
+		out := dense.New(x.Dims[mode], 5)
+		e.MTTKRP(mode, fs, out)
+		want := ref.MTTKRP(x, mode, fs)
+		if d := out.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("mode %d: max diff %g vs dense reference", mode, d)
+		}
+	}
+}
+
+func TestHigherOrderMatchesSparseReference(t *testing.T) {
+	for _, order := range []int{3, 4, 5, 6, 7} {
+		x := tensor.RandomClustered(order, 18, 600, 0.9, int64(order*3))
+		fs := randomFactors(x, 8, int64(order*5))
+		e := NewAllMode(x, 4)
+		for mode := 0; mode < order; mode++ {
+			out := dense.New(x.Dims[mode], 8)
+			e.MTTKRP(mode, fs, out)
+			want := ref.MTTKRPSparse(x, mode, fs)
+			if d := out.MaxAbsDiff(want); d > 1e-8 {
+				t.Errorf("order %d mode %d: max diff %g", order, mode, d)
+			}
+		}
+	}
+}
+
+func TestParallelConsistency(t *testing.T) {
+	x := tensor.RandomClustered(4, 20, 3000, 0.7, 33)
+	fs := randomFactors(x, 16, 34)
+	seq := NewAllMode(x, 1)
+	parl := NewAllMode(x, 8)
+	for mode := 0; mode < 4; mode++ {
+		a := dense.New(x.Dims[mode], 16)
+		b := dense.New(x.Dims[mode], 16)
+		seq.MTTKRP(mode, fs, a)
+		parl.MTTKRP(mode, fs, b)
+		if d := a.MaxAbsDiff(b); d > 1e-9 {
+			t.Errorf("mode %d: parallel differs by %g", mode, d)
+		}
+	}
+}
+
+func TestFiberCompressionReducesOps(t *testing.T) {
+	// A highly clustered tensor has far fewer fibers than nonzeros, so CSF
+	// must perform fewer ops than the COO bound N·R·nnz per mode.
+	x := tensor.RandomClustered(4, 8, 3000, 1.2, 35)
+	fs := randomFactors(x, 8, 36)
+	e := NewAllMode(x, 1)
+	out := dense.New(x.Dims[0], 8)
+	e.MTTKRP(0, fs, out)
+	cooOps := int64(x.NNZ()) * 4 * 8
+	if got := e.Stats().HadamardOps; got >= cooOps {
+		t.Errorf("csf ops %d not below coo bound %d on clustered tensor", got, cooOps)
+	}
+}
+
+func TestIndexBytesPositive(t *testing.T) {
+	x := tensor.RandomUniform(3, 10, 200, 37)
+	e := NewAllMode(x, 1)
+	s := e.Stats()
+	if s.IndexBytes <= 0 || s.ValueBytes != int64(3*x.NNZ()*8) {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestSingleNonzero(t *testing.T) {
+	x := tensor.NewCOO([]int{3, 4, 5}, 1)
+	x.Append([]tensor.Index{2, 3, 4}, 2.5)
+	fs := randomFactors(x, 3, 38)
+	e := NewAllMode(x, 1)
+	out := dense.New(4, 3)
+	e.MTTKRP(1, fs, out)
+	for j := 0; j < 3; j++ {
+		want := 2.5 * fs[0].At(2, j) * fs[2].At(4, j)
+		if diff := out.At(3, j) - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("col %d: got %g want %g", j, out.At(3, j), want)
+		}
+	}
+}
+
+// Property: CSF and the sparse reference agree on random clustered tensors
+// of random order.
+func TestEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 3 + rng.Intn(3)
+		x := tensor.RandomClustered(order, 6+rng.Intn(10), 200, rng.Float64(), seed)
+		fs := randomFactors(x, 4, seed+1)
+		e := NewAllMode(x, 2)
+		mode := rng.Intn(order)
+		out := dense.New(x.Dims[mode], 4)
+		e.MTTKRP(mode, fs, out)
+		want := ref.MTTKRPSparse(x, mode, fs)
+		return out.MaxAbsDiff(want) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,169 @@
+package csf
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"adatm/internal/dense"
+	"adatm/internal/engine"
+	"adatm/internal/par"
+	"adatm/internal/tensor"
+)
+
+// MTTKRPLevel computes the MTTKRP for the mode stored at the given CSF
+// level, using the general two-direction kernel: the product of the factor
+// rows on the path *above* the target level is pushed down, the tensor-
+// times-vector reduction of the subtree *below* is pulled up, and their
+// Hadamard product accumulates into the output row of the target node.
+//
+// level == 0 degenerates to the root kernel (no push-down, race-free
+// accumulation); deeper levels use striped row locks because nodes in
+// different root subtrees can share an output row. Returns the Hadamard op
+// unit count.
+func (t *Tensor) MTTKRPLevel(level int, factors []*dense.Matrix, out *dense.Matrix, workers int, stripes *par.Stripes) int64 {
+	if level == 0 {
+		return t.MTTKRPRoot(factors, out, workers)
+	}
+	n := len(t.ModeOrder)
+	r := out.Cols
+	out.Zero()
+	var ops atomic.Int64
+	nroots := len(t.Fids[0])
+	par.ForBlocks(nroots, 64, workers, func(lo, hi int) {
+		// Scratch: one R-vector per level for the upward reductions, one per
+		// level above the target for the downward products.
+		up := make([][]float64, n)
+		down := make([][]float64, level+1)
+		for l := range up {
+			up[l] = make([]float64, r)
+		}
+		for l := range down {
+			down[l] = make([]float64, r)
+		}
+		var local int64
+
+		// walkUp computes the subtree TTV of node (l, id) over the modes of
+		// levels l+1..n-1 (excluding level l's own factor row).
+		var walkUp func(l int, id int64) []float64
+		walkUp = func(l int, id int64) []float64 {
+			buf := up[l]
+			if l == n-1 {
+				v := t.Vals[id]
+				for j := range buf {
+					buf[j] = v
+				}
+				return buf
+			}
+			for j := range buf {
+				buf[j] = 0
+			}
+			c0, c1 := t.children(l, id)
+			f := factors[t.ModeOrder[l+1]]
+			for c := c0; c < c1; c++ {
+				cb := walkUp(l+1, c)
+				crow := f.Row(int(t.Fids[l+1][c]))
+				for j := range buf {
+					buf[j] += cb[j] * crow[j]
+				}
+				local += 2 * int64(r)
+			}
+			return buf
+		}
+
+		// walkDown carries the Hadamard product of the factor rows at
+		// levels 0..l-1 and fires the accumulation at the target level.
+		var walkDown func(l int, id int64)
+		walkDown = func(l int, id int64) {
+			if l == level {
+				res := walkUp(l, id)
+				d := down[l-1]
+				fid := t.Fids[l][id]
+				stripes.Lock(fid)
+				orow := out.Row(int(fid))
+				for j := range orow {
+					orow[j] += res[j] * d[j]
+				}
+				stripes.Unlock(fid)
+				local += int64(r)
+				return
+			}
+			// Extend the downward product with this level's factor row.
+			buf := down[l]
+			frow := factors[t.ModeOrder[l]].Row(int(t.Fids[l][id]))
+			if l == 0 {
+				copy(buf, frow)
+			} else {
+				prev := down[l-1]
+				for j := range buf {
+					buf[j] = prev[j] * frow[j]
+				}
+			}
+			local += int64(r)
+			c0, c1 := t.children(l, id)
+			for c := c0; c < c1; c++ {
+				walkDown(l+1, c)
+			}
+		}
+
+		for root := lo; root < hi; root++ {
+			walkDown(0, int64(root))
+		}
+		ops.Add(local)
+	})
+	return ops.Load()
+}
+
+// Single is the single-tree CSF engine (SPLATT's memory-lean ONEMODE
+// configuration): one CSF ordered smallest-dimension-first, serving every
+// mode's MTTKRP through the level kernel above. It trades kernel speed on
+// deep modes for an N-fold reduction in index storage versus AllMode.
+type Single struct {
+	tree    *Tensor
+	levelOf []int // levelOf[mode] = CSF level holding that mode
+	workers int
+	stripes *par.Stripes
+	ops     atomic.Int64
+}
+
+// NewSingle builds the single-tree engine over x.
+func NewSingle(x *tensor.COO, workers int) *Single {
+	n := x.Order()
+	order := make([]int, n)
+	for m := range order {
+		order[m] = m
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if x.Dims[order[a]] != x.Dims[order[b]] {
+			return x.Dims[order[a]] < x.Dims[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	e := &Single{tree: Build(x, order), workers: workers, stripes: par.NewStripes(1024)}
+	e.levelOf = make([]int, n)
+	for l, m := range order {
+		e.levelOf[m] = l
+	}
+	return e
+}
+
+// Name implements engine.Engine.
+func (e *Single) Name() string { return "csf-one" }
+
+// FactorUpdated implements engine.Engine; no factor-dependent caches.
+func (e *Single) FactorUpdated(int) {}
+
+// Stats implements engine.Engine.
+func (e *Single) Stats() engine.Stats {
+	vb := int64(len(e.tree.Vals)) * 8
+	return engine.Stats{HadamardOps: e.ops.Load(), IndexBytes: e.tree.IndexBytes(), ValueBytes: vb, PeakValueBytes: vb}
+}
+
+// ResetStats implements engine.Engine.
+func (e *Single) ResetStats() { e.ops.Store(0) }
+
+// MTTKRP implements engine.Engine.
+func (e *Single) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+	e.ops.Add(e.tree.MTTKRPLevel(e.levelOf[mode], factors, out, e.workers, e.stripes))
+}
+
+var _ engine.Engine = (*Single)(nil)

@@ -1,0 +1,119 @@
+package csf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adatm/internal/dense"
+	"adatm/internal/par"
+	"adatm/internal/ref"
+	"adatm/internal/tensor"
+)
+
+func TestLevelKernelMatchesDenseReference(t *testing.T) {
+	x := tensor.RandomUniform(4, 7, 90, 41)
+	fs := randomFactors(x, 5, 42)
+	e := NewSingle(x, 2)
+	for mode := 0; mode < 4; mode++ {
+		out := dense.New(x.Dims[mode], 5)
+		e.MTTKRP(mode, fs, out)
+		want := ref.MTTKRP(x, mode, fs)
+		if d := out.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("mode %d (level %d): max diff %g", mode, e.levelOf[mode], d)
+		}
+	}
+}
+
+func TestSingleHigherOrders(t *testing.T) {
+	for _, order := range []int{3, 4, 5, 6, 7} {
+		x := tensor.RandomClustered(order, 16, 500, 0.8, int64(order*7))
+		fs := randomFactors(x, 6, int64(order*9))
+		e := NewSingle(x, 4)
+		for mode := 0; mode < order; mode++ {
+			out := dense.New(x.Dims[mode], 6)
+			e.MTTKRP(mode, fs, out)
+			want := ref.MTTKRPSparse(x, mode, fs)
+			if d := out.MaxAbsDiff(want); d > 1e-8 {
+				t.Errorf("order %d mode %d: max diff %g", order, mode, d)
+			}
+		}
+	}
+}
+
+func TestSingleParallelConsistency(t *testing.T) {
+	x := tensor.RandomClustered(4, 18, 3000, 0.9, 43)
+	fs := randomFactors(x, 16, 44)
+	seq := NewSingle(x, 1)
+	parl := NewSingle(x, 8)
+	for mode := 0; mode < 4; mode++ {
+		a := dense.New(x.Dims[mode], 16)
+		b := dense.New(x.Dims[mode], 16)
+		seq.MTTKRP(mode, fs, a)
+		parl.MTTKRP(mode, fs, b)
+		if d := a.MaxAbsDiff(b); d > 1e-9 {
+			t.Errorf("mode %d: parallel differs by %g", mode, d)
+		}
+	}
+}
+
+func TestSingleUsesOneTree(t *testing.T) {
+	x := tensor.RandomClustered(4, 12, 2000, 0.8, 45)
+	one := NewSingle(x, 1)
+	all := NewAllMode(x, 1)
+	sOne, sAll := one.Stats(), all.Stats()
+	if sOne.IndexBytes*2 >= sAll.IndexBytes {
+		t.Errorf("single-tree index %d not well below allmode %d", sOne.IndexBytes, sAll.IndexBytes)
+	}
+	if sOne.ValueBytes != int64(x.NNZ())*8 {
+		t.Errorf("value bytes = %d, want one copy %d", sOne.ValueBytes, x.NNZ()*8)
+	}
+}
+
+func TestSingleSmallestModeAtRoot(t *testing.T) {
+	x := tensor.RandomUniform(3, 5, 50, 46)
+	x.Dims = []int{50, 3, 20}
+	// regenerate indices within new bounds
+	x = tensor.Generate(tensor.GenSpec{Dims: []int{50, 3, 20}, NNZ: 60, Seed: 46})
+	e := NewSingle(x, 1)
+	if e.tree.ModeOrder[0] != 1 {
+		t.Errorf("root mode = %d, want the smallest mode 1", e.tree.ModeOrder[0])
+	}
+	if e.levelOf[1] != 0 {
+		t.Errorf("levelOf[1] = %d", e.levelOf[1])
+	}
+}
+
+func TestLevelKernelRootEqualsRootKernel(t *testing.T) {
+	x := tensor.RandomClustered(3, 10, 400, 0.6, 47)
+	fs := randomFactors(x, 4, 48)
+	tree := Build(x, []int{0, 1, 2})
+	a := dense.New(x.Dims[0], 4)
+	b := dense.New(x.Dims[0], 4)
+	tree.MTTKRPRoot(fs, a, 2)
+	tree.MTTKRPLevel(0, fs, b, 2, par.NewStripes(64))
+	if d := a.MaxAbsDiff(b); d > 1e-12 {
+		t.Errorf("level-0 kernel differs from root kernel by %g", d)
+	}
+}
+
+// Property: Single and AllMode agree everywhere.
+func TestSingleAllModeAgreeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 3 + rng.Intn(3)
+		x := tensor.RandomClustered(order, 6+rng.Intn(8), 250, rng.Float64(), seed)
+		fs := randomFactors(x, 4, seed+2)
+		one := NewSingle(x, 2)
+		all := NewAllMode(x, 2)
+		mode := rng.Intn(order)
+		a := dense.New(x.Dims[mode], 4)
+		b := dense.New(x.Dims[mode], 4)
+		one.MTTKRP(mode, fs, a)
+		all.MTTKRP(mode, fs, b)
+		return a.MaxAbsDiff(b) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,61 @@
+package dense
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkGram(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, shape := range [][2]int{{10000, 16}, {100000, 16}, {10000, 64}} {
+		a := Random(shape[0], shape[1], rng)
+		out := New(shape[1], shape[1])
+		b.Run(benchName(shape[0], shape[1]), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Gram(a, out, 0)
+			}
+		})
+	}
+}
+
+func BenchmarkSymEig(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{16, 64} {
+		a := randomSPD(n, rng)
+		b.Run(benchName(n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				SymEig(a)
+			}
+		})
+	}
+}
+
+func BenchmarkSolveSPDInPlace(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomSPD(16, rng)
+	m := Random(50000, 16, rng)
+	work := m.Clone()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work.CopyFrom(m)
+		SolveSPDInPlace(a, work, 0)
+	}
+}
+
+func benchName(r, c int) string {
+	return itoa(r) + "x" + itoa(c)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,188 @@
+package dense
+
+import (
+	"math"
+)
+
+// SymEig computes the eigendecomposition of a symmetric matrix a = V·diag(w)·Vᵀ
+// using the cyclic Jacobi method. It returns the eigenvalues w (unordered) and
+// the matrix V whose columns are the corresponding orthonormal eigenvectors.
+// a is not modified. Intended for the small R×R Gram/Hadamard matrices of
+// CP-ALS (R ≤ a few hundred).
+func SymEig(a *Matrix) (w []float64, v *Matrix) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("dense: SymEig of non-square matrix")
+	}
+	// Work on a copy; rotate until off-diagonal mass is negligible.
+	s := a.Clone()
+	v = Identity(n)
+	const maxSweeps = 64
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for p := 0; p < n; p++ {
+			for q := p + 1; q < n; q++ {
+				off += s.At(p, q) * s.At(p, q)
+			}
+		}
+		if off <= 1e-30*(1+s.FrobeniusNorm()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := s.At(p, q)
+				if apq == 0 {
+					continue
+				}
+				app, aqq := s.At(p, p), s.At(q, q)
+				// Rotation angle that annihilates (p, q).
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				sn := t * c
+				// Apply the rotation to rows/columns p and q of s.
+				for k := 0; k < n; k++ {
+					skp, skq := s.At(k, p), s.At(k, q)
+					s.Set(k, p, c*skp-sn*skq)
+					s.Set(k, q, sn*skp+c*skq)
+				}
+				for k := 0; k < n; k++ {
+					spk, sqk := s.At(p, k), s.At(q, k)
+					s.Set(p, k, c*spk-sn*sqk)
+					s.Set(q, k, sn*spk+c*sqk)
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v.At(k, p), v.At(k, q)
+					v.Set(k, p, c*vkp-sn*vkq)
+					v.Set(k, q, sn*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	w = make([]float64, n)
+	for i := range w {
+		w[i] = s.At(i, i)
+	}
+	return w, v
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// PseudoInverseSym returns the Moore–Penrose pseudoinverse of a symmetric
+// matrix via its eigendecomposition: a⁺ = V·diag(1/w_i for |w_i|>tol)·Vᵀ.
+// tol <= 0 selects an automatic tolerance of n·ε·max|w|.
+func PseudoInverseSym(a *Matrix, tol float64) *Matrix {
+	n := a.Rows
+	w, v := SymEig(a)
+	if tol <= 0 {
+		maxw := 0.0
+		for _, x := range w {
+			if ax := math.Abs(x); ax > maxw {
+				maxw = ax
+			}
+		}
+		tol = float64(n) * 2.22e-16 * maxw
+	}
+	// a⁺ = Σ_i (1/w_i)·v_i·v_iᵀ over the well-conditioned spectrum.
+	inv := New(n, n)
+	for i := 0; i < n; i++ {
+		if math.Abs(w[i]) <= tol {
+			continue
+		}
+		wi := 1 / w[i]
+		for r := 0; r < n; r++ {
+			vr := v.At(r, i) * wi
+			if vr == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				inv.Data[r*n+c] += vr * v.At(c, i)
+			}
+		}
+	}
+	return inv
+}
+
+// Cholesky computes the lower-triangular factor L with a = L·Lᵀ for a
+// symmetric positive-definite matrix. Returns ok=false if a pivot is not
+// positive (matrix not SPD within floating-point tolerance).
+func Cholesky(a *Matrix) (l *Matrix, ok bool) {
+	n := a.Rows
+	if a.Cols != n {
+		panic("dense: Cholesky of non-square matrix")
+	}
+	l = New(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 {
+			return nil, false
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return l, true
+}
+
+// SolveSPDInPlace solves x·a = b for every row of b, overwriting b with the
+// solutions, where a is symmetric positive definite (the CP-ALS update
+// U ← M·H⁺ with H SPD is exactly this with b = M). If the Cholesky
+// factorization fails, it falls back to the pseudoinverse. workers controls
+// row-level parallelism.
+func SolveSPDInPlace(a *Matrix, b *Matrix, workers int) {
+	n := a.Rows
+	if b.Cols != n {
+		panic("dense: SolveSPDInPlace shape mismatch")
+	}
+	l, ok := Cholesky(a)
+	if !ok {
+		// Rank-deficient H: fall back to the pseudoinverse product.
+		pinv := PseudoInverseSym(a, 0)
+		tmp := MatMul(b, pinv, nil, workers)
+		b.CopyFrom(tmp)
+		return
+	}
+	// Row-wise: solve aᵀ x = bᵀ i.e. (L Lᵀ) x = rowᵀ per row (a symmetric).
+	solveRow := func(row []float64) {
+		// Forward solve L y = row.
+		for i := 0; i < n; i++ {
+			s := row[i]
+			li := l.Row(i)
+			for k := 0; k < i; k++ {
+				s -= li[k] * row[k]
+			}
+			row[i] = s / li[i]
+		}
+		// Backward solve Lᵀ x = y.
+		for i := n - 1; i >= 0; i-- {
+			s := row[i]
+			for k := i + 1; k < n; k++ {
+				s -= l.At(k, i) * row[k]
+			}
+			row[i] = s / l.At(i, i)
+		}
+	}
+	rowsParallel(b, workers, solveRow)
+}

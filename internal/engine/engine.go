@@ -1,0 +1,50 @@
+// Package engine defines the interface every MTTKRP kernel in this
+// repository implements, plus the operation/memory accounting structure the
+// benchmark harness and the cost model share.
+//
+// CP-ALS is written against this interface so the streaming-COO baseline,
+// the CSF (SPLATT-equivalent) baseline, and the memoized semi-sparse engines
+// are interchangeable, which is what makes the paper's engine-vs-engine
+// comparisons meaningful: everything outside MTTKRP is identical code.
+package engine
+
+import (
+	"adatm/internal/dense"
+)
+
+// Stats aggregates the work and footprint counters of an engine.
+//
+// HadamardOps counts fused multiply–accumulate operations on length-R rows
+// (one unit = one scalar multiply-add), which is the paper's
+// machine-independent operation metric. IndexBytes and ValueBytes are the
+// engine's auxiliary storage beyond the input tensor; PeakValueBytes tracks
+// the maximum simultaneously live intermediate value storage.
+type Stats struct {
+	HadamardOps    int64
+	IndexBytes     int64
+	ValueBytes     int64
+	PeakValueBytes int64
+	SymbolicNS     int64 // one-time preprocessing time, nanoseconds
+}
+
+// Engine computes MTTKRP products for a fixed sparse tensor.
+type Engine interface {
+	// Name identifies the engine in reports ("coo", "csf", "memo-binary", ...).
+	Name() string
+
+	// MTTKRP computes M = X_(mode) · ⊙_{i≠mode} factors[i] into out, which
+	// must be Dims[mode] × R and is fully overwritten. factors must hold one
+	// I_i × R matrix per mode (factors[mode] is ignored).
+	MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix)
+
+	// FactorUpdated tells the engine that factors[mode] changed, so any
+	// cached intermediate depending on it must be invalidated. Engines
+	// without caches treat this as a no-op.
+	FactorUpdated(mode int)
+
+	// Stats returns the accumulated counters.
+	Stats() Stats
+
+	// ResetStats zeroes the work counters (footprint counters persist).
+	ResetStats()
+}

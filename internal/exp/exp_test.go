@@ -1,0 +1,136 @@
+package exp
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"adatm"
+	"adatm/internal/dense"
+	"adatm/internal/tensor"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "bb"}}
+	tab.Add("1", 2.5)
+	tab.Add("longer", 3)
+	tab.Notes = append(tab.Notes, "a note")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== X: demo ==", "longer", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{ID: "X", Title: "demo", Columns: []string{"a", "b"}}
+	tab.Add(1, 2)
+	var buf bytes.Buffer
+	tab.Markdown(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| 1 | 2 |") {
+		t.Errorf("markdown wrong:\n%s", out)
+	}
+}
+
+func TestProfileSuiteSubset(t *testing.T) {
+	cfg := Config{Quick: true}
+	suite := ProfileSuite(cfg, "uber4d")
+	if len(suite) != 1 || suite[0].Name != "uber4d" {
+		t.Fatalf("suite = %v", suite)
+	}
+	if suite[0].X.Order() != 4 {
+		t.Errorf("order = %d", suite[0].X.Order())
+	}
+}
+
+func TestRandomOrderSuite(t *testing.T) {
+	suite := RandomOrderSuite(Config{Quick: true}, []int{3, 5})
+	if len(suite) != 2 || suite[1].X.Order() != 5 {
+		t.Fatalf("bad suite")
+	}
+}
+
+func TestEngineSetMatchesKinds(t *testing.T) {
+	x := tensor.RandomClustered(3, 30, 500, 0.5, 1)
+	set := EngineSet(x, Config{})
+	if len(set) != len(adatm.EngineKinds()) {
+		t.Fatalf("%d engines for %d kinds", len(set), len(adatm.EngineKinds()))
+	}
+}
+
+func TestSweepAndTime(t *testing.T) {
+	x := tensor.RandomClustered(3, 30, 500, 0.5, 2)
+	e := EngineSet(x, Config{})[1]
+	d := TimeSweeps(e, x, 8, 1, 3)
+	if d <= 0 || d > time.Minute {
+		t.Fatalf("implausible sweep time %v", d)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	if s := spearman([]float64{1, 2, 3, 4}, []float64{10, 20, 30, 40}); math.Abs(s-1) > 1e-12 {
+		t.Errorf("perfect correlation = %g", s)
+	}
+	if s := spearman([]float64{1, 2, 3, 4}, []float64{40, 30, 20, 10}); math.Abs(s+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %g", s)
+	}
+	if s := spearman([]float64{1}, []float64{2}); s != 0 {
+		t.Errorf("degenerate input = %g", s)
+	}
+}
+
+func TestRegistryAndFind(t *testing.T) {
+	ids := IDs()
+	if len(ids) < 10 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	for _, id := range ids {
+		if Find(id) == nil {
+			t.Errorf("Find(%q) = nil", id)
+		}
+	}
+	if Find("nope") != nil {
+		t.Error("Find accepted unknown id")
+	}
+}
+
+// Smoke-run the fast experiments end to end at a tiny scale.
+func TestExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	cfg := Config{Quick: true, Rank: 8}
+	for _, id := range []string{"T1", "E8", "E10", "E17"} {
+		r := Find(id)
+		tab := r.Run(cfg)
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s produced no rows", id)
+		}
+		var buf bytes.Buffer
+		tab.Render(&buf)
+		if buf.Len() == 0 {
+			t.Errorf("%s rendered nothing", id)
+		}
+	}
+}
+
+func TestSweepOnceMatchesEngineOutput(t *testing.T) {
+	// SweepOnce must leave the last mode's MTTKRP in the output buffer.
+	x := tensor.RandomClustered(3, 20, 300, 0.4, 4)
+	e := EngineSet(x, Config{})[0]
+	fs := randomFactors(x, 4, 5)
+	out := dense.New(maxDim(x.Dims), 4)
+	SweepOnce(e, x, fs, out)
+	direct := dense.New(x.Dims[2], 4)
+	e.MTTKRP(2, fs, direct)
+	last := &dense.Matrix{Rows: x.Dims[2], Cols: 4, Data: out.Data[:x.Dims[2]*4]}
+	if d := last.MaxAbsDiff(direct); d > 1e-9 {
+		t.Errorf("sweep output differs from direct MTTKRP by %g", d)
+	}
+}

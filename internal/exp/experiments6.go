@@ -1,0 +1,127 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adatm"
+	"adatm/internal/memo"
+	"adatm/internal/model"
+	"adatm/internal/tensor"
+)
+
+// E19SelectorRegret validates the model statistically: over a population of
+// random tensors (random order, shape, and skew), how often is the model's
+// pick the measured-fastest strategy, and how much slower is it when not?
+func E19SelectorRegret(cfg Config) *Table {
+	t := &Table{
+		ID:      "E19",
+		Title:   fmt.Sprintf("statistical selector validation over random tensors (R=%d)", cfg.rank()),
+		Columns: []string{"population", "tensors", "top-1 rate", "top-2 rate", "mean penalty", "max penalty"},
+	}
+	trials := 12
+	nnz := 120000
+	if cfg.Quick {
+		trials = 6
+		nnz = 25000
+	}
+	populations := []struct {
+		name   string
+		orders []int
+	}{
+		{"order 3-4", []int{3, 4}},
+		{"order 5-8", []int{5, 6, 8}},
+	}
+	rng := rand.New(rand.NewSource(4242 + cfg.Seed))
+	for _, pop := range populations {
+		top1, top2 := 0, 0
+		var meanPen, maxPen float64
+		for trial := 0; trial < trials; trial++ {
+			order := pop.orders[trial%len(pop.orders)]
+			skew := 0.3 + rng.Float64()*0.9
+			dim := 1 << (10 + rng.Intn(4))
+			x := tensor.RandomClustered(order, dim, nnz, skew, rng.Int63())
+			plan := adatm.PlanFor(x, cfg.rank(), 0)
+			// Measure every candidate.
+			var times []time.Duration
+			pickIdx := -1
+			for i, c := range plan.Candidates {
+				eng, err := memo.New(x, c.Strategy, cfg.Workers, c.Name)
+				if err != nil {
+					panic(err)
+				}
+				times = append(times, TimeSweeps(eng, x, cfg.rank(), 2, 47))
+				if c.Name == plan.Chosen.Name {
+					pickIdx = i
+				}
+			}
+			best, second := bestTwo(times)
+			pen := float64(times[pickIdx])/float64(times[best]) - 1
+			meanPen += pen
+			if pen > maxPen {
+				maxPen = pen
+			}
+			if pickIdx == best {
+				top1++
+				top2++
+			} else if pickIdx == second {
+				top2++
+			}
+		}
+		meanPen /= float64(trials)
+		t.Add(pop.name, trials,
+			fmt.Sprintf("%d/%d", top1, trials), fmt.Sprintf("%d/%d", top2, trials),
+			fmt.Sprintf("%.1f%%", 100*meanPen), fmt.Sprintf("%.1f%%", 100*maxPen))
+	}
+	t.Notes = append(t.Notes,
+		"penalty = time(model pick)/time(measured best) − 1, per tensor",
+		"near-ties between candidates make top-1 noisy; the penalty is the operative metric")
+	return t
+}
+
+// E20TimeModel compares op-count-ranked selection against roofline
+// time-ranked selection (calibrated ns/op and ns/byte).
+func E20TimeModel(cfg Config) *Table {
+	t := &Table{
+		ID:      "E20",
+		Title:   fmt.Sprintf("ablation: op-count model vs calibrated roofline time model (R=%d)", cfg.rank()),
+		Columns: []string{"tensor", "ops-model pick", "sweep", "time-model pick", "sweep", "calibration"},
+	}
+	coeffs := model.Calibrate()
+	calib := fmt.Sprintf("%.2fns/op %.3fns/B", coeffs.NsPerOp, coeffs.NsPerByte)
+	for _, ds := range ProfileSuite(cfg, "delicious4d", "enron4d", "lbnl5d") {
+		x := ds.X
+		opsPlan := adatm.PlanFor(x, cfg.rank(), 0)
+		timePlan := model.SelectByTime(x, model.Options{Rank: cfg.rank()}, coeffs)
+		measure := func(s *memo.Strategy, name string) time.Duration {
+			eng, err := memo.New(x, s, cfg.Workers, name)
+			if err != nil {
+				panic(err)
+			}
+			return TimeSweeps(eng, x, cfg.rank(), 2, 53)
+		}
+		t.Add(ds.Name,
+			opsPlan.Chosen.Name, fmtDur(measure(opsPlan.Chosen.Strategy, "ops")),
+			timePlan.Chosen.Name, fmtDur(measure(timePlan.Chosen.Strategy, "time")),
+			calib)
+	}
+	t.Notes = append(t.Notes, "the two models usually agree; they diverge when a deep tree's traffic outweighs its op savings")
+	return t
+}
+
+func bestTwo(times []time.Duration) (best, second int) {
+	best, second = 0, -1
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[best] {
+			second = best
+			best = i
+		} else if second < 0 || times[i] < times[second] {
+			second = i
+		}
+	}
+	if second < 0 {
+		second = best
+	}
+	return best, second
+}

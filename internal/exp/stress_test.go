@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"testing"
+
+	"adatm"
+	"adatm/internal/tensor"
+)
+
+// TestLargeStress exercises the full pipeline at a realistic scale: an
+// order-6 tensor with ~1M nonzeros through symbolic construction, adaptive
+// selection, and two ALS iterations with every counter coherent at the end.
+func TestLargeStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	x := tensor.RandomClustered(6, 1<<15, 1000000, 0.8, 777)
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan := adatm.PlanFor(x, 16, 0)
+	if plan.Chosen.Strategy == nil {
+		t.Fatal("no plan")
+	}
+	res, err := adatm.Decompose(x, adatm.Options{Rank: 16, MaxIters: 2, Seed: 1, Engine: adatm.EngineAdaptive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != 2 || res.Fit != res.Fit /* NaN check */ {
+		t.Fatalf("stress run degenerate: iters=%d fit=%v", res.Iters, res.Fit)
+	}
+	eng, err := adatm.NewEngine(x, adatm.EngineAdaptive, adatm.EngineConfig{Rank: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := TimeSweeps(eng, x, 16, 1, 3)
+	if d <= 0 {
+		t.Fatal("no sweep time measured")
+	}
+	s := eng.Stats()
+	if s.HadamardOps <= 0 || s.IndexBytes <= 0 || s.PeakValueBytes <= 0 {
+		t.Fatalf("incoherent stats at scale: %+v", s)
+	}
+	t.Logf("1M-nnz order-6: plan=%s sweep=%v idx=%.1fMiB peak=%.1fMiB",
+		plan.Chosen.Strategy, d, float64(s.IndexBytes)/(1<<20), float64(s.PeakValueBytes)/(1<<20))
+}

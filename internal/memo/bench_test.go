@@ -1,0 +1,72 @@
+package memo
+
+import (
+	"fmt"
+	"testing"
+
+	"adatm/internal/dense"
+	"adatm/internal/tensor"
+)
+
+func benchTensor(order int) *tensor.COO {
+	return tensor.RandomClustered(order, 4096, 100000, 0.8, int64(order))
+}
+
+func BenchmarkSymbolicBuild(b *testing.B) {
+	for _, order := range []int{4, 6, 8} {
+		x := benchTensor(order)
+		for _, s := range []struct {
+			name  string
+			strat *Strategy
+		}{{"flat", Flat(order)}, {"balanced", Balanced(order)}} {
+			b.Run(fmt.Sprintf("order%d/%s", order, s.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := New(x, s.strat, 0, ""); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(x.NNZ()), "nnz")
+			})
+		}
+	}
+}
+
+func BenchmarkNumericSweep(b *testing.B) {
+	for _, order := range []int{4, 6} {
+		x := benchTensor(order)
+		fs := randomFactors(x, 16, 5)
+		for _, s := range []struct {
+			name  string
+			strat *Strategy
+		}{{"flat", Flat(order)}, {"balanced", Balanced(order)}} {
+			e, err := New(x, s.strat, 0, "")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("order%d/%s", order, s.name), func(b *testing.B) {
+				out := dense.New(x.Dims[0], 16)
+				for i := 0; i < b.N; i++ {
+					for mode := 0; mode < order; mode++ {
+						e.MTTKRP(mode, fs, out)
+						e.FactorUpdated(mode)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkSortByKeys(b *testing.B) {
+	x := benchTensor(4)
+	keys := [][]tensor.Index{x.Inds[0], x.Inds[1]}
+	dims := []int{x.Dims[0], x.Dims[1]}
+	perm := make([]int32, x.NNZ())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range perm {
+			perm[j] = int32(j)
+		}
+		sortByKeys(perm, keys, dims)
+	}
+	b.ReportMetric(float64(x.NNZ()), "keys")
+}

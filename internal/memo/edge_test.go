@@ -1,0 +1,161 @@
+package memo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"adatm/internal/dense"
+	"adatm/internal/ref"
+	"adatm/internal/tensor"
+)
+
+// randomBinary builds a random contiguous binary strategy over [0, n).
+func randomBinary(n int, rng *rand.Rand) *Strategy {
+	var build func(lo, hi int) *Strategy
+	build = func(lo, hi int) *Strategy {
+		s := &Strategy{Lo: lo, Hi: hi}
+		if hi-lo == 1 {
+			return s
+		}
+		split := lo + 1 + rng.Intn(hi-lo-1)
+		s.Children = []*Strategy{build(lo, split), build(split, hi)}
+		return s
+	}
+	return build(0, n)
+}
+
+// Property: arbitrary binary trees (not just the named shapes) compute the
+// correct MTTKRP under the full ALS protocol.
+func TestRandomBinaryStrategyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		order := 3 + rng.Intn(5)
+		s := randomBinary(order, rng)
+		if s.Validate(order) != nil {
+			return false
+		}
+		x := tensor.RandomClustered(order, 6+rng.Intn(8), 200, rng.Float64(), seed)
+		fs := make([]*dense.Matrix, order)
+		for m := range fs {
+			fs[m] = dense.Random(x.Dims[m], 4, rng)
+		}
+		e, err := New(x, s, 2, "rand-binary")
+		if err != nil {
+			return false
+		}
+		for iter := 0; iter < 2; iter++ {
+			for mode := 0; mode < order; mode++ {
+				out := dense.New(x.Dims[mode], 4)
+				e.MTTKRP(mode, fs, out)
+				want := ref.MTTKRPSparse(x, mode, fs)
+				if out.MaxAbsDiff(want) > 1e-8 {
+					return false
+				}
+				fs[mode] = dense.Random(x.Dims[mode], 4, rng)
+				e.FactorUpdated(mode)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOrderTwoTensor(t *testing.T) {
+	// Order 2 (a sparse matrix) is the degenerate base case: the only
+	// strategies are flat == balanced == one split.
+	x := tensor.RandomUniform(2, 12, 80, 211)
+	fs := []*dense.Matrix{
+		dense.Random(12, 3, rand.New(rand.NewSource(1))),
+		dense.Random(12, 3, rand.New(rand.NewSource(2))),
+	}
+	for _, s := range []*Strategy{Flat(2), Balanced(2)} {
+		e, err := New(x, s, 1, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for mode := 0; mode < 2; mode++ {
+			out := dense.New(12, 3)
+			e.MTTKRP(mode, fs, out)
+			want := ref.MTTKRPSparse(x, mode, fs)
+			if d := out.MaxAbsDiff(want); d > 1e-9 {
+				t.Errorf("%s mode %d: diff %g", s, mode, d)
+			}
+		}
+	}
+}
+
+func TestTensorWithEmptySlices(t *testing.T) {
+	// Mode 0 uses only indices {0, 7}; the symbolic phase and leaf scatter
+	// must handle the holes.
+	x := tensor.NewCOO([]int{8, 3, 3}, 3)
+	x.Append([]tensor.Index{0, 0, 0}, 1)
+	x.Append([]tensor.Index{7, 1, 2}, 2)
+	x.Append([]tensor.Index{7, 2, 1}, 3)
+	rng := rand.New(rand.NewSource(3))
+	fs := []*dense.Matrix{
+		dense.Random(8, 4, rng), dense.Random(3, 4, rng), dense.Random(3, 4, rng),
+	}
+	e, err := New(x, Balanced(3), 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mode := 0; mode < 3; mode++ {
+		out := dense.New(x.Dims[mode], 4)
+		e.MTTKRP(mode, fs, out)
+		want := ref.MTTKRP(x, mode, fs)
+		if d := out.MaxAbsDiff(want); d > 1e-10 {
+			t.Errorf("mode %d: diff %g", mode, d)
+		}
+	}
+	if e.leaves[0].nelem != 2 {
+		t.Errorf("leaf 0 has %d elements, want 2 distinct indices", e.leaves[0].nelem)
+	}
+}
+
+func TestSingleNonzeroTensor(t *testing.T) {
+	x := tensor.NewCOO([]int{4, 4, 4, 4}, 1)
+	x.Append([]tensor.Index{1, 2, 3, 0}, 2.0)
+	rng := rand.New(rand.NewSource(4))
+	fs := make([]*dense.Matrix, 4)
+	for m := range fs {
+		fs[m] = dense.Random(4, 2, rng)
+	}
+	e, err := New(x, Balanced(4), 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dense.New(4, 2)
+	e.MTTKRP(2, fs, out)
+	for j := 0; j < 2; j++ {
+		want := 2.0 * fs[0].At(1, j) * fs[1].At(2, j) * fs[3].At(0, j)
+		got := out.At(3, j)
+		if d := got - want; d > 1e-12 || d < -1e-12 {
+			t.Errorf("col %d: got %g want %g", j, got, want)
+		}
+	}
+}
+
+func TestWideFlatTreeHighOrder(t *testing.T) {
+	// Order 10 flat tree: 10 leaves under the root, each with |δ| = 9.
+	x := tensor.RandomClustered(10, 6, 300, 0.5, 223)
+	rng := rand.New(rand.NewSource(5))
+	fs := make([]*dense.Matrix, 10)
+	for m := range fs {
+		fs[m] = dense.Random(x.Dims[m], 3, rng)
+	}
+	e, err := New(x, Flat(10), 2, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []int{0, 5, 9} {
+		out := dense.New(x.Dims[mode], 3)
+		e.MTTKRP(mode, fs, out)
+		want := ref.MTTKRPSparse(x, mode, fs)
+		if d := out.MaxAbsDiff(want); d > 1e-9 {
+			t.Errorf("mode %d: diff %g", mode, d)
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package memo
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"adatm/internal/dense"
+	"adatm/internal/engine"
+	"adatm/internal/par"
+	"adatm/internal/tensor"
+)
+
+// Engine is the memoized MTTKRP engine: a strategy tree of semi-sparse
+// intermediate tensors over a fixed input tensor. The symbolic phase runs
+// once at construction; every MTTKRP materializes (or reuses) the value
+// matrices along the path from the root to the requested mode's leaf, and
+// FactorUpdated invalidates exactly the nodes contracted with the factor
+// that changed.
+type Engine struct {
+	x       *tensor.COO
+	strat   *Strategy
+	name    string
+	workers int
+	retain  bool
+
+	root   *node
+	all    []*node
+	leaves []*node
+
+	rank int // R of the cached value matrices; 0 until the first MTTKRP
+
+	ops        atomic.Int64
+	idxBytes   int64
+	curValB    int64
+	peakValB   int64
+	symbolicNS int64
+}
+
+// New builds the engine for the given strategy. name labels the engine in
+// reports (e.g. "memo-binary"); an empty name defaults to "memo".
+func New(x *tensor.COO, strat *Strategy, workers int, name string) (*Engine, error) {
+	return NewWithConfig(x, strat, Config{Workers: workers, Name: name})
+}
+
+// Config holds the optional knobs of the memoized engine.
+type Config struct {
+	Workers int
+	Name    string
+	// RetainBuffers keeps each node's value storage allocated across
+	// invalidations, trading steady peak memory (every node's buffer lives
+	// simultaneously after the first iteration) for zero per-iteration
+	// allocation.
+	RetainBuffers bool
+}
+
+// NewWithConfig is New with the full configuration surface.
+func NewWithConfig(x *tensor.COO, strat *Strategy, cfg Config) (*Engine, error) {
+	if err := strat.Validate(x.Order()); err != nil {
+		return nil, err
+	}
+	name := cfg.Name
+	if name == "" {
+		name = "memo"
+	}
+	e := &Engine{x: x, strat: strat, name: name, workers: cfg.Workers, retain: cfg.RetainBuffers}
+	start := time.Now()
+	e.root, e.all, e.leaves = buildTree(x, strat, cfg.Workers)
+	e.symbolicNS = time.Since(start).Nanoseconds()
+	for _, t := range e.all {
+		e.idxBytes += t.indexBytes()
+	}
+	return e, nil
+}
+
+// Strategy returns the strategy tree the engine was built with.
+func (e *Engine) Strategy() *Strategy { return e.strat }
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return e.name }
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() engine.Stats {
+	return engine.Stats{
+		HadamardOps:    e.ops.Load(),
+		IndexBytes:     e.idxBytes,
+		ValueBytes:     e.curValB,
+		PeakValueBytes: e.peakValB,
+		SymbolicNS:     e.symbolicNS,
+	}
+}
+
+// ResetStats implements engine.Engine.
+func (e *Engine) ResetStats() { e.ops.Store(0) }
+
+// FactorUpdated implements engine.Engine: every cached node contracted with
+// factors[mode] becomes stale and is dropped.
+func (e *Engine) FactorUpdated(mode int) {
+	for _, t := range e.all {
+		if t.vals != nil && t.dependsOn(mode) {
+			e.free(t)
+		}
+	}
+}
+
+// invalidateAll drops every cached value matrix (used when R changes).
+func (e *Engine) invalidateAll() {
+	for _, t := range e.all {
+		if t.vals != nil {
+			e.free(t)
+		}
+	}
+}
+
+func (e *Engine) free(t *node) {
+	if !e.retain {
+		e.curValB -= int64(t.nelem) * int64(e.rank) * 8
+	}
+	t.vals = nil
+}
+
+func (e *Engine) alloc(t *node, r int) {
+	need := t.nelem * r
+	if e.retain {
+		if cap(t.buf) >= need {
+			// Reuse the retained storage: no allocation, bytes already
+			// counted.
+			t.vals = &dense.Matrix{Rows: t.nelem, Cols: r, Data: t.buf[:need]}
+			return
+		}
+		// Replacing retained storage (rank grew): swap the accounting.
+		e.curValB -= int64(cap(t.buf)) * 8
+	}
+	t.vals = dense.New(t.nelem, r)
+	if e.retain {
+		t.buf = t.vals.Data
+	}
+	e.curValB += int64(need) * 8
+	if e.curValB > e.peakValB {
+		e.peakValB = e.curValB
+	}
+}
+
+// MTTKRP implements engine.Engine.
+func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+	r := out.Cols
+	if out.Rows != e.x.Dims[mode] {
+		panic("memo: MTTKRP output row count mismatch")
+	}
+	if e.rank != r {
+		e.invalidateAll()
+		e.rank = r
+	}
+	leaf := e.leaves[mode]
+	e.ensure(leaf, factors, r)
+	// Scatter the leaf's value rows into the (possibly larger) output; mode
+	// indices absent from the tensor keep zero rows.
+	out.Zero()
+	ind := leaf.inds[0]
+	par.ForRange(leaf.nelem, e.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			copy(out.Row(int(ind[i])), leaf.vals.Row(i))
+		}
+	})
+}
+
+// ensure materializes t.vals (recursively materializing ancestors first).
+func (e *Engine) ensure(t *node, factors []*dense.Matrix, r int) {
+	if t.vals != nil || t.parent == nil {
+		return
+	}
+	p := t.parent
+	e.ensure(p, factors, r)
+	e.alloc(t, r)
+	e.compute(t, factors, r)
+}
+
+// compute evaluates the contraction of the parent's semi-sparse tensor with
+// the delta-mode factor rows, reduced into t's elements. The loop is the
+// paper's TTM-through-Hadamard kernel: for each parent element, load its
+// R-row (or broadcast the scalar nonzero value when the parent is the
+// root), multiply element-wise by one factor row per removed mode, and
+// accumulate into the owning child element. Parallel over child elements,
+// so no synchronization is needed.
+func (e *Engine) compute(t *node, factors []*dense.Matrix, r int) {
+	p := t.parent
+	fromRoot := p.parent == nil
+	// Factor rows are looked up through the parent's index arrays.
+	deltaInds := make([][]tensor.Index, len(t.delta))
+	deltaFac := make([]*dense.Matrix, len(t.delta))
+	for k, d := range t.delta {
+		deltaInds[k] = p.inds[d-p.lo]
+		deltaFac[k] = factors[d]
+	}
+	vals := e.x.Vals
+	par.ForBlocks(t.nelem, 256, e.workers, func(lo, hi int) {
+		tmp := make([]float64, r)
+		for i := lo; i < hi; i++ {
+			out := t.vals.Row(i)
+			for j := range out {
+				out[j] = 0
+			}
+			for ei := t.redPtr[i]; ei < t.redPtr[i+1]; ei++ {
+				pe := int(t.redElems[ei])
+				if fromRoot {
+					v := vals[pe]
+					for j := range tmp {
+						tmp[j] = v
+					}
+				} else {
+					copy(tmp, p.vals.Row(pe))
+				}
+				for k := range deltaFac {
+					f := deltaFac[k].Row(int(deltaInds[k][pe]))
+					for j := range tmp {
+						tmp[j] *= f[j]
+					}
+				}
+				for j := range out {
+					out[j] += tmp[j]
+				}
+			}
+		}
+	})
+	e.ops.Add(int64(p.nelem) * int64(len(t.delta)+1) * int64(r))
+}
+
+// NodeElemCounts returns, for every node in pre-order, its mode range and
+// the number of distinct projected tuples — the quantities the cost model
+// estimates. Used to validate the model against the exact symbolic phase.
+func (e *Engine) NodeElemCounts() []NodeCount {
+	out := make([]NodeCount, 0, len(e.all))
+	for _, t := range e.all {
+		out = append(out, NodeCount{Lo: t.lo, Hi: t.hi, Elems: t.nelem})
+	}
+	return out
+}
+
+// NodeCount reports the element count of one tree node.
+type NodeCount struct {
+	Lo, Hi int
+	Elems  int
+}
+
+// PerIterationOps returns the exact number of Hadamard op units one full
+// CP-ALS iteration (one MTTKRP per mode, in order, with the standard
+// invalidation pattern) costs at rank r: every non-root node is computed
+// exactly once per iteration, costing parentElems·(|δ|+1)·r.
+func (e *Engine) PerIterationOps(r int) int64 {
+	var ops int64
+	for _, t := range e.all {
+		if t.parent == nil {
+			continue
+		}
+		ops += int64(t.parent.nelem) * int64(len(t.delta)+1) * int64(r)
+	}
+	return ops
+}
+
+var _ engine.Engine = (*Engine)(nil)
+
+// Describe returns a short human-readable summary of the tree: node count,
+// depth, and per-node element counts relative to nnz.
+func (e *Engine) Describe() string {
+	return fmt.Sprintf("%s depth=%d nodes=%d nnz=%d", e.strat, e.strat.Depth(), e.strat.CountNodes(), e.x.NNZ())
+}

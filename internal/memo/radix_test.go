@@ -1,0 +1,141 @@
+package memo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"adatm/internal/tensor"
+)
+
+// referenceSort applies the comparison-based lexicographic sort the radix
+// version replaced.
+func referenceSort(perm []int32, keys [][]tensor.Index) {
+	sort.SliceStable(perm, func(a, b int) bool {
+		ka, kb := perm[a], perm[b]
+		for _, key := range keys {
+			if key[ka] != key[kb] {
+				return key[ka] < key[kb]
+			}
+		}
+		return false
+	})
+}
+
+func TestSortByKeysMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(500)
+		nkeys := 1 + rng.Intn(4)
+		dims := make([]int, nkeys)
+		keys := make([][]tensor.Index, nkeys)
+		for k := range keys {
+			dims[k] = 1 + rng.Intn(1000)
+			col := make([]tensor.Index, n)
+			for i := range col {
+				col[i] = tensor.Index(rng.Intn(dims[k]))
+			}
+			keys[k] = col
+		}
+		a := make([]int32, n)
+		b := make([]int32, n)
+		for i := range a {
+			a[i] = int32(i)
+			b[i] = int32(i)
+		}
+		sortByKeys(a, keys, dims)
+		referenceSort(b, keys)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: mismatch at %d: %d vs %d", trial, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSortByKeysLargeDims(t *testing.T) {
+	// Dims above 2^16 exercise the two-pass split.
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	dim := 1 << 20
+	key := make([]tensor.Index, n)
+	for i := range key {
+		key[i] = tensor.Index(rng.Intn(dim))
+	}
+	perm := make([]int32, n)
+	ref := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+		ref[i] = int32(i)
+	}
+	sortByKeys(perm, [][]tensor.Index{key}, []int{dim})
+	referenceSort(ref, [][]tensor.Index{key})
+	for i := range perm {
+		if perm[i] != ref[i] {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestSortByKeysStability(t *testing.T) {
+	// Equal keys must preserve input order (stability drives the grouped
+	// reduction sets).
+	key := []tensor.Index{3, 1, 3, 1, 3}
+	perm := []int32{0, 1, 2, 3, 4}
+	sortByKeys(perm, [][]tensor.Index{key}, []int{4})
+	want := []int32{1, 3, 0, 2, 4}
+	for i := range perm {
+		if perm[i] != want[i] {
+			t.Fatalf("perm = %v, want %v", perm, want)
+		}
+	}
+}
+
+func TestSortByKeysTrivial(t *testing.T) {
+	sortByKeys(nil, nil, nil)
+	one := []int32{0}
+	sortByKeys(one, [][]tensor.Index{{5}}, []int{10})
+	if one[0] != 0 {
+		t.Fatal("single-element sort changed the slice")
+	}
+}
+
+// Property: sortByKeys output is a permutation sorted by the key order.
+func TestSortByKeysProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		dims := []int{1 + rng.Intn(70000), 1 + rng.Intn(50)}
+		keys := [][]tensor.Index{make([]tensor.Index, n), make([]tensor.Index, n)}
+		for i := 0; i < n; i++ {
+			keys[0][i] = tensor.Index(rng.Intn(dims[0]))
+			keys[1][i] = tensor.Index(rng.Intn(dims[1]))
+		}
+		perm := make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		sortByKeys(perm, keys, dims)
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		for i := 1; i < n; i++ {
+			a, b := perm[i-1], perm[i]
+			if keys[0][a] > keys[0][b] {
+				return false
+			}
+			if keys[0][a] == keys[0][b] && keys[1][a] > keys[1][b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,46 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"adatm/internal/tensor"
+)
+
+func BenchmarkEstimatorBuild(b *testing.B) {
+	for _, order := range []int{4, 6, 8} {
+		x := tensor.RandomClustered(order, 4096, 100000, 0.8, int64(order))
+		for _, k := range []int{256, 1024} {
+			b.Run(fmt.Sprintf("order%d/k%d", order, k), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					NewEstimator(x, k)
+				}
+				b.ReportMetric(float64(x.NNZ()), "nnz")
+			})
+		}
+	}
+}
+
+func BenchmarkSelect(b *testing.B) {
+	x := tensor.RandomClustered(6, 4096, 100000, 0.8, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Select(x, Options{Rank: 16})
+	}
+}
+
+func BenchmarkSelectPermuted(b *testing.B) {
+	x := tensor.RandomClustered(5, 4096, 80000, 0.8, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectPermuted(x, Options{Rank: 16}, nil)
+	}
+}
+
+func BenchmarkKMVOffer(b *testing.B) {
+	s := newKMV(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.offer(mix64(uint64(i)))
+	}
+}

@@ -1,0 +1,99 @@
+package model
+
+import (
+	"adatm/internal/tensor"
+)
+
+// Estimator provides (estimated or exact) distinct-tuple counts for every
+// contiguous mode range [lo, hi) of a tensor — the element counts of the
+// candidate semi-sparse intermediates. One pass over the nonzeros feeds a
+// rolling hash per range start into a KMV sketch per range.
+type Estimator struct {
+	order int
+	nnz   int64
+	// counts[rangeID(lo,hi)] = estimated distinct tuples of modes [lo,hi).
+	counts []int64
+	exact  bool
+}
+
+// rangeID maps [lo, hi) with 0 <= lo < hi <= n to a dense table index.
+func rangeID(lo, hi, n int) int { return lo*n + hi - 1 }
+
+// NewEstimator builds the range table with bottom-k sketches of size k
+// (k <= 0 selects the default 1024). The pass costs O(nnz · N²) hash
+// operations and O(N² · k) memory.
+func NewEstimator(x *tensor.COO, k int) *Estimator {
+	if k <= 0 {
+		k = 1024
+	}
+	n := x.Order()
+	e := &Estimator{order: n, nnz: int64(x.NNZ()), counts: make([]int64, n*n)}
+	sketches := make([]*kmv, n*n)
+	for lo := 0; lo < n; lo++ {
+		for hi := lo + 1; hi <= n; hi++ {
+			sketches[rangeID(lo, hi, n)] = newKMV(k)
+		}
+	}
+	nnz := x.NNZ()
+	for t := 0; t < nnz; t++ {
+		for lo := 0; lo < n; lo++ {
+			h := uint64(0x9e3779b97f4a7c15)
+			for hi := lo + 1; hi <= n; hi++ {
+				h = mix64(h ^ (uint64(uint32(x.Inds[hi-1][t])) + 0x632be59bd9b4e019))
+				sketches[rangeID(lo, hi, n)].offer(h)
+			}
+		}
+	}
+	for id, s := range sketches {
+		if s != nil {
+			e.counts[id] = s.estimate()
+		}
+	}
+	// Full-range projection is the nonzero count itself (assuming dedup),
+	// and a full-range sketch may be off by the sketch error; pin it.
+	e.counts[rangeID(0, n, n)] = int64(nnz)
+	return e
+}
+
+// NewExactEstimator computes the same table exactly with hash sets, for
+// model-validation experiments. Cost: O(nnz · N²) time and up to
+// O(nnz · N²) transient memory.
+func NewExactEstimator(x *tensor.COO) *Estimator {
+	n := x.Order()
+	e := &Estimator{order: n, nnz: int64(x.NNZ()), counts: make([]int64, n*n), exact: true}
+	for lo := 0; lo < n; lo++ {
+		set := make(map[uint64]struct{})
+		for hi := lo + 1; hi <= n; hi++ {
+			// Recompute the rolling hash per (lo, hi) prefix; reuse the set
+			// across hi is not possible since keys differ, so clear it.
+			clear(set)
+			for t := 0; t < x.NNZ(); t++ {
+				h := uint64(0x9e3779b97f4a7c15)
+				for m := lo; m < hi; m++ {
+					h = mix64(h ^ (uint64(uint32(x.Inds[m][t])) + 0x632be59bd9b4e019))
+				}
+				set[h] = struct{}{}
+			}
+			e.counts[rangeID(lo, hi, n)] = int64(len(set))
+		}
+	}
+	return e
+}
+
+// Order returns the tensor order the estimator was built for.
+func (e *Estimator) Order() int { return e.order }
+
+// NNZ returns the nonzero count of the underlying tensor.
+func (e *Estimator) NNZ() int64 { return e.nnz }
+
+// Exact reports whether the table holds exact counts.
+func (e *Estimator) Exact() bool { return e.exact }
+
+// Distinct returns the (estimated) number of distinct index tuples of the
+// tensor projected onto modes [lo, hi).
+func (e *Estimator) Distinct(lo, hi int) int64 {
+	if lo < 0 || hi <= lo || hi > e.order {
+		panic("model: Distinct range out of bounds")
+	}
+	return e.counts[rangeID(lo, hi, e.order)]
+}

@@ -1,0 +1,93 @@
+// Package model implements the paper's model-driven strategy selection: it
+// predicts, for every candidate memoization strategy, the per-iteration
+// operation count and the memory footprint — without materializing any
+// intermediate tensor — and picks the cheapest strategy that fits a memory
+// budget.
+//
+// The predictions need one nontrivial input: the number of *distinct* index
+// tuples of the tensor projected onto each contiguous mode range (that is
+// the element count of the corresponding semi-sparse intermediate). The
+// package estimates all of these in a single pass over the nonzeros with a
+// bottom-k (KMV) distinct-count sketch per range.
+package model
+
+import (
+	"sort"
+)
+
+// mix64 is the splitmix64 finalizer, a strong 64-bit mixing function.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// kmv is a bottom-k sketch over a stream of 64-bit hashes: it retains the k
+// smallest distinct hash values and estimates the distinct count of the
+// stream as (k-1)/kth-smallest-normalized-hash. With k=1024 the standard
+// error is about 1/√k ≈ 3%.
+type kmv struct {
+	k      int
+	seen   map[uint64]struct{}
+	thresh uint64 // hashes >= thresh are ignored (cannot be in the bottom k)
+	exact  bool   // true while the sketch has never overflowed
+}
+
+func newKMV(k int) *kmv {
+	if k < 16 {
+		k = 16
+	}
+	return &kmv{k: k, seen: make(map[uint64]struct{}, 2*k), thresh: ^uint64(0), exact: true}
+}
+
+// offer adds one hash to the sketch.
+func (s *kmv) offer(h uint64) {
+	if h >= s.thresh {
+		return
+	}
+	if _, ok := s.seen[h]; ok {
+		return
+	}
+	s.seen[h] = struct{}{}
+	if len(s.seen) > 2*s.k {
+		s.compact()
+	}
+}
+
+// compact trims the retained set back to the k smallest hashes.
+func (s *kmv) compact() {
+	hs := make([]uint64, 0, len(s.seen))
+	for h := range s.seen {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(a, b int) bool { return hs[a] < hs[b] })
+	hs = hs[:s.k]
+	s.thresh = hs[len(hs)-1] + 1
+	s.seen = make(map[uint64]struct{}, 2*s.k)
+	for _, h := range hs {
+		s.seen[h] = struct{}{}
+	}
+	s.exact = false
+}
+
+// estimate returns the estimated number of distinct hashes offered.
+func (s *kmv) estimate() int64 {
+	if s.exact || len(s.seen) < s.k {
+		return int64(len(s.seen))
+	}
+	hs := make([]uint64, 0, len(s.seen))
+	for h := range s.seen {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(a, b int) bool { return hs[a] < hs[b] })
+	kth := hs[s.k-1]
+	if kth == 0 {
+		return int64(s.k)
+	}
+	// D ≈ (k-1) / U(k) with U(k) the k-th smallest hash normalized to (0,1).
+	frac := float64(kth) / float64(^uint64(0))
+	return int64(float64(s.k-1) / frac)
+}

@@ -1,0 +1,172 @@
+// Package par provides small shared-memory parallelism helpers used by every
+// numeric kernel in the repository: a blocked parallel-for, a parallel-range
+// variant that hands each worker one contiguous chunk, and a striped lock set
+// for scatter-style accumulation.
+//
+// The helpers intentionally mirror the OpenMP loop constructs the original
+// system was written with: static chunking, no work stealing, and a worker
+// count that defaults to GOMAXPROCS but can be overridden per call so that
+// thread-scaling experiments can pin the parallel width.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers returns the default parallel width, GOMAXPROCS(0).
+func MaxWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// clampWorkers normalizes a requested worker count against the amount of
+// available work. workers <= 0 selects the default width.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = MaxWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs body(i) for every i in [0, n) using the given number of workers.
+// Iterations are distributed in contiguous blocks (static schedule). body
+// must be safe to call concurrently for distinct i.
+func For(n, workers int, body func(i int)) {
+	ForRange(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange splits [0, n) into one contiguous [lo, hi) block per worker and
+// runs body on each block concurrently. It is the building block for kernels
+// that want per-worker private state allocated once per block.
+func ForRange(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	// Distribute the remainder one extra element to the first n%workers
+	// blocks so block sizes differ by at most one.
+	q, r := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + q
+		if w < r {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForWorker is like ForRange but also passes the worker id, for kernels that
+// index into preallocated per-worker scratch buffers.
+func ForWorker(n, workers int, body func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, n)
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	q, r := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + q
+		if w < r {
+			hi++
+		}
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			body(w, lo, hi)
+		}(w, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForBlocks runs body over [0,n) in blocks of the given size using a dynamic
+// schedule: workers pull the next block off a shared channel. Useful when
+// per-element cost is highly skewed (e.g. fibers with wildly different
+// lengths).
+func ForBlocks(n, blockSize, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if blockSize <= 0 {
+		blockSize = 1
+	}
+	nblocks := (n + blockSize - 1) / blockSize
+	workers = clampWorkers(workers, nblocks)
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	blocks := make(chan int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for b := range blocks {
+				lo := b * blockSize
+				hi := lo + blockSize
+				if hi > n {
+					hi = n
+				}
+				body(lo, hi)
+			}
+		}()
+	}
+	for b := 0; b < nblocks; b++ {
+		blocks <- b
+	}
+	close(blocks)
+	wg.Wait()
+}
+
+// Stripes is a fixed pool of mutexes used to protect scatter updates into a
+// large row-indexed array without one lock per row. Rows hash to stripes by
+// low bits, so the stripe count must be a power of two.
+type Stripes struct {
+	locks []sync.Mutex
+	mask  uint32
+}
+
+// NewStripes creates a stripe set with at least n locks, rounded up to a
+// power of two (minimum 1).
+func NewStripes(n int) *Stripes {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &Stripes{locks: make([]sync.Mutex, size), mask: uint32(size - 1)}
+}
+
+// Lock acquires the stripe owning row i.
+func (s *Stripes) Lock(i int32) { s.locks[uint32(i)&s.mask].Lock() }
+
+// Unlock releases the stripe owning row i.
+func (s *Stripes) Unlock(i int32) { s.locks[uint32(i)&s.mask].Unlock() }
+
+// Len reports the number of stripes.
+func (s *Stripes) Len() int { return len(s.locks) }

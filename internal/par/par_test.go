@@ -1,0 +1,129 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100, 1001} {
+		for _, w := range []int{0, 1, 3, 16, 2000} {
+			var hits sync.Map
+			var count atomic.Int64
+			For(n, w, func(i int) {
+				if _, dup := hits.LoadOrStore(i, true); dup {
+					t.Errorf("n=%d w=%d: index %d visited twice", n, w, i)
+				}
+				count.Add(1)
+			})
+			if int(count.Load()) != n {
+				t.Errorf("n=%d w=%d: visited %d indices", n, w, count.Load())
+			}
+		}
+	}
+}
+
+func TestForRangeBlocksPartition(t *testing.T) {
+	n := 103
+	covered := make([]atomic.Int32, n)
+	ForRange(n, 7, func(lo, hi int) {
+		if lo >= hi {
+			t.Errorf("empty block [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestForWorkerIDsDistinct(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	ForWorker(100, 5, func(w, lo, hi int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen[w] {
+			t.Errorf("worker id %d reused", w)
+		}
+		seen[w] = true
+	})
+	if len(seen) != 5 {
+		t.Fatalf("saw %d worker ids, want 5", len(seen))
+	}
+}
+
+func TestForBlocksCoversAll(t *testing.T) {
+	n := 250
+	covered := make([]atomic.Int32, n)
+	ForBlocks(n, 16, 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestForBlocksZeroAndNegative(t *testing.T) {
+	called := false
+	ForBlocks(0, 8, 4, func(lo, hi int) { called = true })
+	ForBlocks(-3, 8, 4, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for empty range")
+	}
+	// blockSize <= 0 must not hang or panic.
+	var count atomic.Int64
+	ForBlocks(5, 0, 2, func(lo, hi int) { count.Add(int64(hi - lo)) })
+	if count.Load() != 5 {
+		t.Fatalf("covered %d of 5", count.Load())
+	}
+}
+
+func TestStripesProtect(t *testing.T) {
+	s := NewStripes(64)
+	counters := make([]int, 1000) // unsynchronized ints; stripes must serialize
+	For(10000, 8, func(i int) {
+		row := int32(i % 1000)
+		s.Lock(row)
+		counters[row]++
+		s.Unlock(row)
+	})
+	for i, c := range counters {
+		if c != 10 {
+			t.Fatalf("counter %d = %d, want 10", i, c)
+		}
+	}
+}
+
+func TestStripesPowerOfTwo(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 63, 64, 65} {
+		s := NewStripes(n)
+		if s.Len() < n || s.Len()&(s.Len()-1) != 0 {
+			t.Errorf("NewStripes(%d) has %d stripes", n, s.Len())
+		}
+	}
+}
+
+// Property: the sum computed by a parallel reduction equals the sequential
+// sum for any n and worker count.
+func TestParallelSumProperty(t *testing.T) {
+	f := func(n uint16, w uint8) bool {
+		nn := int(n % 2000)
+		var total atomic.Int64
+		For(nn, int(w%32), func(i int) { total.Add(int64(i)) })
+		return total.Load() == int64(nn)*int64(nn-1)/2 || nn == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

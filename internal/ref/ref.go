@@ -1,0 +1,139 @@
+// Package ref holds deliberately naive reference implementations used only
+// by tests and model-validation experiments. Correctness over speed: the
+// MTTKRP here is computed through the explicit matricization and Khatri-Rao
+// product definitions, sharing no code with the optimized engines.
+package ref
+
+import (
+	"adatm/internal/dense"
+	"adatm/internal/tensor"
+)
+
+// KhatriRao computes the column-wise Kronecker product A ⊙ B
+// ((I·J) × R for A: I×R, B: J×R).
+func KhatriRao(a, b *dense.Matrix) *dense.Matrix {
+	if a.Cols != b.Cols {
+		panic("ref: KhatriRao column mismatch")
+	}
+	out := dense.New(a.Rows*b.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Rows; j++ {
+			row := out.Row(i*b.Rows + j)
+			ar := a.Row(i)
+			br := b.Row(j)
+			for c := range row {
+				row[c] = ar[c] * br[c]
+			}
+		}
+	}
+	return out
+}
+
+// Matricize returns the mode-n matricization X_(n) of a dense tensor laid
+// out with the *last mode fastest* (the layout tensor.COO.ToDense emits).
+// Columns follow the standard Kolda–Bader ordering: the remaining modes in
+// increasing order, with the first remaining mode varying fastest.
+func Matricize(data []float64, dims []int, mode int) *dense.Matrix {
+	n := len(dims)
+	rows := dims[mode]
+	cols := 1
+	for m, d := range dims {
+		if m != mode {
+			cols *= d
+		}
+	}
+	out := dense.New(rows, cols)
+	// Strides of the dense layout (last mode fastest).
+	strides := make([]int, n)
+	s := 1
+	for m := n - 1; m >= 0; m-- {
+		strides[m] = s
+		s *= dims[m]
+	}
+	// Column index: for remaining modes r1 < r2 < … (excluding mode),
+	// col = Σ i_{r_k} · Π_{l<k} dims[r_l] with r1 varying fastest.
+	rest := make([]int, 0, n-1)
+	for m := 0; m < n; m++ {
+		if m != mode {
+			rest = append(rest, m)
+		}
+	}
+	idx := make([]int, n)
+	var walk func(m int)
+	walk = func(m int) {
+		if m == n {
+			off := 0
+			for d := 0; d < n; d++ {
+				off += idx[d] * strides[d]
+			}
+			col := 0
+			mult := 1
+			for _, rm := range rest {
+				col += idx[rm] * mult
+				mult *= dims[rm]
+			}
+			out.Set(idx[mode], col, data[off])
+			return
+		}
+		for i := 0; i < dims[m]; i++ {
+			idx[m] = i
+			walk(m + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// MTTKRP computes X_(mode) · (U⁽ᴺ⁾ ⊙ … ⊙ U⁽ᵐᵒᵈᵉ⁺¹⁾ ⊙ U⁽ᵐᵒᵈᵉ⁻¹⁾ ⊙ … ⊙ U⁽¹⁾)
+// through the explicit dense matricization and Khatri-Rao product. Only
+// usable for tiny tensors (the dense expansion is capped at 1<<22 elements).
+func MTTKRP(x *tensor.COO, mode int, factors []*dense.Matrix) *dense.Matrix {
+	data, err := x.ToDense(1 << 22)
+	if err != nil {
+		panic(err)
+	}
+	xm := Matricize(data, x.Dims, mode)
+	// Khatri-Rao over the remaining modes: with the Kolda–Bader column
+	// ordering (first remaining mode fastest), the product is
+	// U^{r_{last}} ⊙ … ⊙ U^{r_first}.
+	rest := make([]int, 0, x.Order()-1)
+	for m := 0; m < x.Order(); m++ {
+		if m != mode {
+			rest = append(rest, m)
+		}
+	}
+	kr := factors[rest[len(rest)-1]]
+	for i := len(rest) - 2; i >= 0; i-- {
+		kr = KhatriRao(kr, factors[rest[i]])
+	}
+	return dense.MatMul(xm, kr, nil, 1)
+}
+
+// MTTKRPSparse is an independent sequential sparse MTTKRP over the nonzeros,
+// usable at any size (used to cross-check engines on tensors too large to
+// densify).
+func MTTKRPSparse(x *tensor.COO, mode int, factors []*dense.Matrix) *dense.Matrix {
+	r := factors[mode].Cols
+	out := dense.New(x.Dims[mode], r)
+	row := make([]float64, r)
+	for k := 0; k < x.NNZ(); k++ {
+		v := x.Vals[k]
+		for j := range row {
+			row[j] = v
+		}
+		for m := 0; m < x.Order(); m++ {
+			if m == mode {
+				continue
+			}
+			f := factors[m].Row(int(x.Inds[m][k]))
+			for j := range row {
+				row[j] *= f[j]
+			}
+		}
+		o := out.Row(int(x.Inds[mode][k]))
+		for j := range row {
+			o[j] += row[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package ref
+
+import (
+	"math/rand"
+	"testing"
+
+	"adatm/internal/dense"
+	"adatm/internal/tensor"
+)
+
+func TestKhatriRao(t *testing.T) {
+	a := dense.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := dense.FromRows([][]float64{{5, 6}, {7, 8}, {9, 10}})
+	kr := KhatriRao(a, b)
+	if kr.Rows != 6 || kr.Cols != 2 {
+		t.Fatalf("shape %dx%d", kr.Rows, kr.Cols)
+	}
+	// Row (i·3 + j) = a.Row(i) .* b.Row(j).
+	if kr.At(0, 0) != 5 || kr.At(0, 1) != 12 {
+		t.Errorf("row 0 = %v", kr.Row(0))
+	}
+	if kr.At(5, 0) != 27 || kr.At(5, 1) != 40 {
+		t.Errorf("row 5 = %v", kr.Row(5))
+	}
+}
+
+func TestMatricizeInverseConsistency(t *testing.T) {
+	// Matricize each mode of a known small tensor and verify elements land
+	// where the Kolda–Bader mapping says.
+	x := tensor.NewCOO([]int{2, 3, 2}, 2)
+	x.Append([]tensor.Index{1, 2, 0}, 5)
+	x.Append([]tensor.Index{0, 1, 1}, 7)
+	data, err := x.ToDense(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mode 0: col = j + k·3 for element (i, j, k).
+	m0 := Matricize(data, x.Dims, 0)
+	if m0.At(1, 2+0*3) != 5 || m0.At(0, 1+1*3) != 7 {
+		t.Errorf("mode-0 matricization wrong")
+	}
+	// Mode 1: col = i + k·2.
+	m1 := Matricize(data, x.Dims, 1)
+	if m1.At(2, 1+0*2) != 5 || m1.At(1, 0+1*2) != 7 {
+		t.Errorf("mode-1 matricization wrong")
+	}
+	// Mode 2: col = i + j·2.
+	m2 := Matricize(data, x.Dims, 2)
+	if m2.At(0, 1+2*2) != 5 || m2.At(1, 0+1*2) != 7 {
+		t.Errorf("mode-2 matricization wrong")
+	}
+}
+
+// The two independent references must agree with each other.
+func TestDenseAndSparseReferencesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, order := range []int{3, 4, 5} {
+		x := tensor.RandomUniform(order, 5, 60, int64(order))
+		fs := make([]*dense.Matrix, order)
+		for m := range fs {
+			fs[m] = dense.Random(x.Dims[m], 4, rng)
+		}
+		for mode := 0; mode < order; mode++ {
+			a := MTTKRP(x, mode, fs)
+			b := MTTKRPSparse(x, mode, fs)
+			if d := a.MaxAbsDiff(b); d > 1e-9 {
+				t.Errorf("order %d mode %d: references disagree by %g", order, mode, d)
+			}
+		}
+	}
+}

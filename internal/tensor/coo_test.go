@@ -1,0 +1,230 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallTensor() *COO {
+	t := NewCOO([]int{3, 4, 2}, 4)
+	t.Append([]Index{2, 1, 0}, 1.5)
+	t.Append([]Index{0, 3, 1}, -2.0)
+	t.Append([]Index{1, 0, 0}, 0.5)
+	t.Append([]Index{2, 1, 1}, 3.0)
+	return t
+}
+
+func TestBasicAccessors(t *testing.T) {
+	x := smallTensor()
+	if x.Order() != 3 || x.NNZ() != 4 {
+		t.Fatalf("order=%d nnz=%d", x.Order(), x.NNZ())
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(1.5*1.5 + 4 + 0.25 + 9)
+	if math.Abs(x.Norm()-want) > 1e-12 {
+		t.Errorf("norm = %g, want %g", x.Norm(), want)
+	}
+}
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	x := smallTensor()
+	x.Inds[1][2] = 4 // dims[1] == 4, so index 4 is out of range
+	if err := x.Validate(); err == nil {
+		t.Fatal("Validate accepted out-of-range index")
+	}
+}
+
+func TestValidateCatchesNaN(t *testing.T) {
+	x := smallTensor()
+	x.Vals[0] = math.NaN()
+	if err := x.Validate(); err == nil {
+		t.Fatal("Validate accepted NaN value")
+	}
+}
+
+func TestValidateCatchesRaggedArrays(t *testing.T) {
+	x := smallTensor()
+	x.Inds[2] = x.Inds[2][:3]
+	if err := x.Validate(); err == nil {
+		t.Fatal("Validate accepted ragged index arrays")
+	}
+}
+
+func TestSortLexicographic(t *testing.T) {
+	x := smallTensor()
+	x.Sort(nil)
+	for k := 1; k < x.NNZ(); k++ {
+		if x.lessTuple(k, k-1, []int{0, 1, 2}) {
+			t.Fatalf("not sorted at position %d", k)
+		}
+	}
+	// Values must travel with their coordinates.
+	if got := x.At([]Index{0, 3, 1}); got != -2.0 {
+		t.Errorf("value moved: At(0,3,1) = %g", got)
+	}
+}
+
+func TestSortByModeOrder(t *testing.T) {
+	x := smallTensor()
+	x.Sort([]int{2}) // sort primarily by the last mode
+	for k := 1; k < x.NNZ(); k++ {
+		if x.Inds[2][k] < x.Inds[2][k-1] {
+			t.Fatalf("mode-2 keys not ascending at %d", k)
+		}
+	}
+}
+
+func TestSortInvalidModePanics(t *testing.T) {
+	x := smallTensor()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on invalid mode order")
+		}
+	}()
+	x.Sort([]int{0, 0})
+}
+
+func TestDedupSums(t *testing.T) {
+	x := NewCOO([]int{2, 2}, 4)
+	x.Append([]Index{0, 1}, 1)
+	x.Append([]Index{1, 1}, 5)
+	x.Append([]Index{0, 1}, 2)
+	x.Append([]Index{0, 1}, 3)
+	merged := x.Dedup()
+	if merged != 2 {
+		t.Fatalf("merged = %d, want 2", merged)
+	}
+	if x.NNZ() != 2 {
+		t.Fatalf("nnz = %d, want 2", x.NNZ())
+	}
+	if got := x.At([]Index{0, 1}); got != 6 {
+		t.Errorf("At(0,1) = %g, want 6", got)
+	}
+	if got := x.At([]Index{1, 1}); got != 5 {
+		t.Errorf("At(1,1) = %g, want 5", got)
+	}
+}
+
+func TestDedupEmpty(t *testing.T) {
+	x := NewCOO([]int{2, 2}, 0)
+	if x.Dedup() != 0 {
+		t.Fatal("Dedup of empty tensor")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := smallTensor()
+	c := x.Clone()
+	c.Vals[0] = 99
+	c.Inds[0][0] = 0
+	if x.Vals[0] == 99 || x.Inds[0][0] == 0 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestPermuteModes(t *testing.T) {
+	x := smallTensor()
+	p := x.PermuteModes([]int{2, 0, 1})
+	if p.Dims[0] != 2 || p.Dims[1] != 3 || p.Dims[2] != 4 {
+		t.Fatalf("dims = %v", p.Dims)
+	}
+	// Element (2,1,0) of x becomes (0,2,1) of p.
+	if got := p.At([]Index{0, 2, 1}); got != 1.5 {
+		t.Errorf("permuted value = %g, want 1.5", got)
+	}
+}
+
+func TestCompactModes(t *testing.T) {
+	x := NewCOO([]int{10, 5}, 2)
+	x.Append([]Index{2, 0}, 1)
+	x.Append([]Index{7, 4}, 2)
+	maps := x.CompactModes()
+	if x.Dims[0] != 2 || x.Dims[1] != 2 {
+		t.Fatalf("compact dims = %v", x.Dims)
+	}
+	if maps[0][0] != 2 || maps[0][1] != 7 || maps[1][0] != 0 || maps[1][1] != 4 {
+		t.Fatalf("back maps = %v", maps)
+	}
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.At([]Index{1, 1}); got != 2 {
+		t.Errorf("relabelled value = %g, want 2", got)
+	}
+}
+
+func TestToDense(t *testing.T) {
+	x := smallTensor()
+	d, err := x.ToDense(1 << 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: last mode fastest; element (2,1,0) at offset 2*8 + 1*2 + 0.
+	if d[2*8+1*2+0] != 1.5 {
+		t.Errorf("dense[2,1,0] = %g", d[2*8+1*2+0])
+	}
+	if d[0*8+3*2+1] != -2.0 {
+		t.Errorf("dense[0,3,1] = %g", d[0*8+3*2+1])
+	}
+}
+
+func TestToDenseTooLarge(t *testing.T) {
+	x := NewCOO([]int{1 << 20, 1 << 20}, 0)
+	if _, err := x.ToDense(1 << 20); err == nil {
+		t.Fatal("ToDense accepted an oversized expansion")
+	}
+}
+
+func TestDensity(t *testing.T) {
+	x := smallTensor()
+	want := 4.0 / (3 * 4 * 2)
+	if math.Abs(x.Density()-want) > 1e-15 {
+		t.Errorf("density = %g, want %g", x.Density(), want)
+	}
+}
+
+// Property: Sort is a permutation — multiset of (coords, value) preserved.
+func TestSortPermutationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := RandomUniform(3, 6, 30, seed)
+		sumBefore := 0.0
+		for _, v := range x.Vals {
+			sumBefore += v
+		}
+		mode := rng.Intn(3)
+		x.Sort([]int{mode})
+		sumAfter := 0.0
+		for _, v := range x.Vals {
+			sumAfter += v
+		}
+		if math.Abs(sumBefore-sumAfter) > 1e-9 {
+			return false
+		}
+		return x.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after Dedup, all coordinates are distinct.
+func TestDedupDistinctProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		x := RandomUniform(3, 3, 40, seed) // small dims force collisions
+		x.Dedup()
+		for k := 1; k < x.NNZ(); k++ {
+			if x.equalTuple(k-1, k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,78 @@
+package tensor
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTNS hardens the parser: arbitrary input must either parse into a
+// tensor that passes Validate and survives a write/read round trip, or
+// return an error — never panic or produce an inconsistent container.
+func FuzzReadTNS(f *testing.F) {
+	f.Add("1 1 1 2.5\n2 3 1 -1\n")
+	f.Add("# comment\n\n1 2 0.5\n")
+	f.Add("1 1 1 1 1 1e30\n")
+	f.Add("3 4 nan\n")
+	f.Add("1 2 3\n4 5 6\n")
+	f.Add(strings.Repeat("9 9 9 1\n", 100))
+	f.Add("0 0 0\n")
+	f.Add("-1 2 3\n")
+	f.Add("1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		x, err := ReadTNS(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Successful parses must yield a structurally valid tensor...
+		if verr := x.Validate(); verr != nil {
+			// ...except for non-finite values, which the format itself
+			// permits syntactically; those must at least be flagged by
+			// Validate rather than crash anything.
+			if !strings.Contains(verr.Error(), "non-finite") {
+				t.Fatalf("invalid tensor accepted: %v", verr)
+			}
+			return
+		}
+		// Round trip: write and re-read, shapes must survive.
+		var buf bytes.Buffer
+		if err := WriteTNS(&buf, x); err != nil {
+			t.Fatalf("write of parsed tensor failed: %v", err)
+		}
+		y, err := ReadTNS(&buf)
+		if err != nil {
+			t.Fatalf("reparse failed: %v", err)
+		}
+		if y.NNZ() != x.NNZ() || y.Order() != x.Order() {
+			t.Fatalf("round trip changed shape: %v -> %v", x, y)
+		}
+	})
+}
+
+// FuzzGenerate hardens the synthetic generator against odd specs.
+func FuzzGenerate(f *testing.F) {
+	f.Add(uint8(3), uint16(10), uint16(100), float64(0.5), int64(1))
+	f.Add(uint8(2), uint16(1), uint16(1), float64(0), int64(0))
+	f.Add(uint8(6), uint16(1000), uint16(5000), float64(2), int64(-5))
+	f.Fuzz(func(t *testing.T, orderRaw uint8, dimRaw, nnzRaw uint16, skew float64, seed int64) {
+		order := 2 + int(orderRaw%6)
+		dim := 1 + int(dimRaw%2000)
+		nnz := int(nnzRaw % 3000)
+		if skew < 0 || skew > 4 || skew != skew {
+			skew = 0
+		}
+		dims := make([]int, order)
+		sk := make([]float64, order)
+		for i := range dims {
+			dims[i] = dim
+			sk[i] = skew
+		}
+		x := Generate(GenSpec{Dims: dims, NNZ: nnz, Skew: sk, Seed: seed})
+		if err := x.Validate(); err != nil {
+			t.Fatalf("generator produced invalid tensor: %v", err)
+		}
+		if x.NNZ() > nnz {
+			t.Fatalf("generator overshot nnz: %d > %d", x.NNZ(), nnz)
+		}
+	})
+}

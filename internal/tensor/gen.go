@@ -1,0 +1,240 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Synthetic tensor generators. Real evaluation datasets (FROSTT, Netflix,
+// NELL, healthcare claims) are multi-gigabyte and not redistributable, so the
+// benchmark suite is driven by generators that reproduce the *shape*
+// statistics that determine MTTKRP cost: order, mode sizes, nonzero count,
+// and — critically for memoization — the index-reuse (projection overlap)
+// profile of each mode, controlled by per-mode skew.
+
+// GenSpec describes a synthetic tensor.
+type GenSpec struct {
+	Name string
+	Dims []int
+	NNZ  int
+	// Skew per mode: 0 = uniform indices; larger values concentrate mass on
+	// few indices (Zipf s=1+Skew), which increases projection overlap the
+	// way real web/commerce/health tensors do.
+	Skew []float64
+	// Rank, if > 0, generates values from a random rank-Rank CP model plus
+	// noise so that CP-ALS has signal to recover; otherwise values are
+	// uniform in (0, 1].
+	Rank int
+	// Noise is the relative amplitude of additive noise for Rank > 0.
+	Noise float64
+	Seed  int64
+}
+
+// Generate builds the tensor described by the spec. Duplicate coordinates
+// are merged; the requested NNZ is therefore an upper bound that is met
+// closely for sparse regimes.
+func Generate(spec GenSpec) *COO {
+	if len(spec.Dims) < 2 {
+		panic("tensor: Generate needs order >= 2")
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := len(spec.Dims)
+	samplers := make([]func() Index, n)
+	for m := 0; m < n; m++ {
+		samplers[m] = indexSampler(rng, spec.Dims[m], skewAt(spec.Skew, m))
+	}
+	t := NewCOO(spec.Dims, spec.NNZ)
+	idx := make([]Index, n)
+	// Skewed modes collide often; resample in rounds until the deduplicated
+	// nonzero count reaches the target (or the pattern saturates).
+	for round := 0; round < 8 && t.NNZ() < spec.NNZ; round++ {
+		need := spec.NNZ - t.NNZ()
+		for k := 0; k < need; k++ {
+			for m := 0; m < n; m++ {
+				idx[m] = samplers[m]()
+			}
+			t.Append(idx, rng.Float64()+0.5)
+		}
+		t.Dedup()
+	}
+	if spec.Rank > 0 {
+		imposeLowRank(t, spec.Rank, spec.Noise, rng)
+	}
+	return t
+}
+
+func skewAt(skew []float64, m int) float64 {
+	if m < len(skew) {
+		return skew[m]
+	}
+	return 0
+}
+
+// indexSampler returns a sampler over [0, dim). skew==0 is uniform; skew>0
+// uses a Zipf distribution with exponent 1+skew whose support is randomly
+// permuted so hot indices are scattered across the index space (as in real
+// data after random relabelling).
+func indexSampler(rng *rand.Rand, dim int, skew float64) func() Index {
+	if skew <= 0 {
+		return func() Index { return Index(rng.Intn(dim)) }
+	}
+	z := rand.NewZipf(rng, 1+skew, 1, uint64(dim-1))
+	// A lightweight scrambling permutation: affine map with a stride coprime
+	// to dim (guaranteeing a bijection), so hot indices are scattered across
+	// the index space the way relabelled real data looks.
+	d := uint64(dim)
+	stride := uint64(rng.Intn(dim)) + 1
+	for gcd(stride, d) != 1 {
+		stride++
+	}
+	return func() Index {
+		return Index((z.Uint64() * stride) % d)
+	}
+}
+
+// imposeLowRank overwrites the values at the existing nonzero coordinates
+// with samples from a random rank-R CP model plus relative Gaussian noise.
+// The sparsity pattern is kept, so structural statistics are unchanged.
+func imposeLowRank(t *COO, rank int, noise float64, rng *rand.Rand) {
+	n := t.Order()
+	factors := make([][][]float64, n)
+	for m := 0; m < n; m++ {
+		f := make([][]float64, t.Dims[m])
+		for i := range f {
+			row := make([]float64, rank)
+			for r := range row {
+				row[r] = rng.Float64()
+			}
+			f[i] = row
+		}
+		factors[m] = f
+	}
+	maxAbs := 0.0
+	for k := 0; k < t.NNZ(); k++ {
+		v := 0.0
+		for r := 0; r < rank; r++ {
+			p := 1.0
+			for m := 0; m < n; m++ {
+				p *= factors[m][t.Inds[m][k]][r]
+			}
+			v += p
+		}
+		t.Vals[k] = v
+		if a := abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if noise > 0 {
+		for k := range t.Vals {
+			t.Vals[k] += noise * maxAbs * rng.NormFloat64()
+		}
+	}
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Profiles mirrors (at laptop scale) the shapes of the tensors commonly used
+// in the sparse-CP literature this paper evaluates on. Dimensions and nnz
+// are scaled down ~1000x while preserving order, relative mode sizes, and
+// skew (index reuse).
+var Profiles = []GenSpec{
+	{Name: "netflix3d", Dims: []int{4800, 1700, 200}, NNZ: 400000, Skew: []float64{0.3, 0.5, 0.1}, Seed: 101},
+	{Name: "nell2", Dims: []int{12000, 300, 8000}, NNZ: 300000, Skew: []float64{0.6, 0.9, 0.6}, Seed: 102},
+	{Name: "amazon3d", Dims: []int{26000, 9500, 1500}, NNZ: 500000, Skew: []float64{0.5, 0.5, 0.8}, Seed: 103},
+	{Name: "delicious4d", Dims: []int{600, 5300, 17000, 2400}, NNZ: 400000, Skew: []float64{0.2, 0.6, 0.7, 0.7}, Seed: 104},
+	{Name: "flickr4d", Dims: []int{320, 3200, 28000, 1600}, NNZ: 350000, Skew: []float64{0.2, 0.6, 0.7, 0.7}, Seed: 105},
+	{Name: "enron4d", Dims: []int{1100, 1200, 12000, 400}, NNZ: 250000, Skew: []float64{0.8, 0.8, 0.9, 0.3}, Seed: 106},
+	{Name: "uber4d", Dims: []int{180, 24, 1100, 1600}, NNZ: 300000, Skew: []float64{0.1, 0.0, 0.4, 0.4}, Seed: 107},
+	{Name: "chicago4d", Dims: []int{600, 24, 77, 320}, NNZ: 350000, Skew: []float64{0.1, 0.1, 0.5, 0.3}, Seed: 108},
+	{Name: "nips4d", Dims: []int{2500, 2800, 14000, 17}, NNZ: 300000, Skew: []float64{0.4, 0.5, 0.8, 0.0}, Seed: 109},
+	{Name: "lbnl5d", Dims: []int{1600, 4200, 1600, 4200, 860}, NNZ: 250000, Skew: []float64{0.5, 0.5, 0.5, 0.5, 0.6}, Seed: 110},
+}
+
+// Profile returns the named generator spec, or an error listing the known
+// names.
+func Profile(name string) (GenSpec, error) {
+	for _, p := range Profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(Profiles))
+	for i, p := range Profiles {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return GenSpec{}, fmt.Errorf("tensor: unknown profile %q (known: %v)", name, names)
+}
+
+// RandomUniform is a convenience wrapper generating an order-n uniform
+// random tensor with every dimension equal to dim.
+func RandomUniform(order, dim, nnz int, seed int64) *COO {
+	dims := make([]int, order)
+	for i := range dims {
+		dims[i] = dim
+	}
+	return Generate(GenSpec{Name: fmt.Sprintf("random%dd", order), Dims: dims, NNZ: nnz, Seed: seed})
+}
+
+// RandomClustered generates an order-n random tensor with uniform dimension
+// dim and identical skew in every mode, exercising high projection overlap.
+func RandomClustered(order, dim, nnz int, skew float64, seed int64) *COO {
+	dims := make([]int, order)
+	sk := make([]float64, order)
+	for i := range dims {
+		dims[i] = dim
+		sk[i] = skew
+	}
+	return Generate(GenSpec{Name: fmt.Sprintf("clustered%dd", order), Dims: dims, NNZ: nnz, Skew: sk, Seed: seed})
+}
+
+// LowRank generates a tensor whose values follow a random rank-r CP model
+// with the given relative noise, on a uniform random sparsity pattern. Note
+// that masking a low-rank model to a sparse pattern does not yield a
+// low-rank tensor (the implicit zeros break the structure); use
+// DenseLowRank when exact recoverability is required.
+func LowRank(dims []int, nnz, rank int, noise float64, seed int64) *COO {
+	return Generate(GenSpec{Name: "lowrank", Dims: dims, NNZ: nnz, Rank: rank, Noise: noise, Seed: seed})
+}
+
+// DenseLowRank generates an exactly rank-r tensor (plus optional relative
+// noise) with *every* coordinate stored, so a CP decomposition at rank >= r
+// can recover it to machine precision. The product of dims must stay small.
+func DenseLowRank(dims []int, rank int, noise float64, seed int64) *COO {
+	total := 1
+	for _, d := range dims {
+		total *= d
+		if total > 1<<22 {
+			panic("tensor: DenseLowRank expansion too large")
+		}
+	}
+	t := NewCOO(dims, total)
+	idx := make([]Index, len(dims))
+	var walk func(m int)
+	walk = func(m int) {
+		if m == len(dims) {
+			t.Append(idx, 1)
+			return
+		}
+		for i := 0; i < dims[m]; i++ {
+			idx[m] = Index(i)
+			walk(m + 1)
+		}
+	}
+	walk(0)
+	imposeLowRank(t, rank, noise, rand.New(rand.NewSource(seed)))
+	return t
+}

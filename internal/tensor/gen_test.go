@@ -1,0 +1,113 @@
+package tensor
+
+import (
+	"testing"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := GenSpec{Name: "x", Dims: []int{50, 60, 70}, NNZ: 500, Skew: []float64{0.5, 0, 0.3}, Seed: 42}
+	a := Generate(spec)
+	b := Generate(spec)
+	if a.NNZ() != b.NNZ() {
+		t.Fatalf("nondeterministic nnz: %d vs %d", a.NNZ(), b.NNZ())
+	}
+	for k := range a.Vals {
+		if a.Vals[k] != b.Vals[k] {
+			t.Fatal("nondeterministic values")
+		}
+	}
+}
+
+func TestGenerateValidAndDeduped(t *testing.T) {
+	x := Generate(GenSpec{Dims: []int{5, 5, 5, 5}, NNZ: 2000, Skew: []float64{1, 1, 1, 1}, Seed: 7})
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if x.NNZ() > 2000 {
+		t.Fatalf("nnz %d exceeds requested", x.NNZ())
+	}
+	for k := 1; k < x.NNZ(); k++ {
+		if x.equalTuple(k-1, k) {
+			t.Fatal("duplicate coordinates after Generate")
+		}
+	}
+}
+
+func TestSkewIncreasesOverlap(t *testing.T) {
+	// Higher skew must reduce the number of distinct indices used in a mode.
+	flat := Generate(GenSpec{Dims: []int{10000, 10}, NNZ: 5000, Seed: 1})
+	skewed := Generate(GenSpec{Dims: []int{10000, 10}, NNZ: 5000, Skew: []float64{1.5, 0}, Seed: 1})
+	distinct := func(x *COO, m int) int {
+		set := map[Index]struct{}{}
+		for _, i := range x.Inds[m] {
+			set[i] = struct{}{}
+		}
+		return len(set)
+	}
+	df, ds := distinct(flat, 0), distinct(skewed, 0)
+	if ds >= df {
+		t.Errorf("skewed mode uses %d distinct indices, flat uses %d; want fewer", ds, df)
+	}
+}
+
+func TestLowRankValuesHaveSignal(t *testing.T) {
+	x := LowRank([]int{20, 20, 20}, 2000, 3, 0, 99)
+	if err := x.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rank-3 model with non-negative factors: all values positive.
+	for _, v := range x.Vals {
+		if v <= 0 {
+			t.Fatalf("non-positive low-rank value %g", v)
+		}
+	}
+}
+
+func TestProfileLookup(t *testing.T) {
+	p, err := Profile("delicious4d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Dims) != 4 {
+		t.Fatalf("delicious4d dims = %v", p.Dims)
+	}
+	if _, err := Profile("no-such"); err == nil {
+		t.Fatal("Profile accepted unknown name")
+	}
+}
+
+func TestProfilesGenerate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("profile generation is slow in -short mode")
+	}
+	for _, p := range Profiles {
+		p.NNZ = 20000 // shrink for test speed; shape statistics still checked
+		x := Generate(p)
+		if err := x.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+		if x.NNZ() < p.NNZ/2 {
+			t.Errorf("%s: dedup collapsed to %d of %d nonzeros", p.Name, x.NNZ(), p.NNZ)
+		}
+	}
+}
+
+func TestRandomHelpers(t *testing.T) {
+	u := RandomUniform(4, 30, 500, 5)
+	if u.Order() != 4 || u.Dims[3] != 30 {
+		t.Fatalf("RandomUniform shape: %v", u.Dims)
+	}
+	c := RandomClustered(3, 40, 500, 1.0, 5)
+	if c.Order() != 3 {
+		t.Fatalf("RandomClustered order: %d", c.Order())
+	}
+}
+
+func TestGenerateTooFewModesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for order < 2")
+		}
+	}()
+	Generate(GenSpec{Dims: []int{5}, NNZ: 10})
+}

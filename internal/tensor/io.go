@@ -1,0 +1,130 @@
+package tensor
+
+import (
+	"bufio"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The FROSTT ".tns" text format: one nonzero per line, N 1-based integer
+// indices followed by a floating-point value, '#' comments and blank lines
+// allowed. Files ending in ".gz" are transparently (de)compressed.
+
+// ReadTNS parses a tensor in FROSTT format from r. The order and dimensions
+// are inferred: order from the first data line, each dimension as the
+// maximum index seen in that mode.
+func ReadTNS(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var t *COO
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("tensor: line %d: want at least 2 fields, got %d", line, len(fields))
+		}
+		order := len(fields) - 1
+		if t == nil {
+			t = NewCOO(make([]int, order), 1024)
+		} else if order != t.Order() {
+			return nil, fmt.Errorf("tensor: line %d: order %d differs from first line's %d", line, order, t.Order())
+		}
+		for m := 0; m < order; m++ {
+			i, err := strconv.ParseInt(fields[m], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("tensor: line %d mode %d: %v", line, m, err)
+			}
+			if i < 1 {
+				return nil, fmt.Errorf("tensor: line %d mode %d: index %d is not 1-based positive", line, m, i)
+			}
+			idx := Index(i - 1)
+			t.Inds[m] = append(t.Inds[m], idx)
+			if int(idx)+1 > t.Dims[m] {
+				t.Dims[m] = int(idx) + 1
+			}
+		}
+		v, err := strconv.ParseFloat(fields[order], 64)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: line %d value: %v", line, err)
+		}
+		t.Vals = append(t.Vals, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if t == nil {
+		return nil, fmt.Errorf("tensor: empty input")
+	}
+	return t, nil
+}
+
+// WriteTNS writes the tensor in FROSTT format (1-based indices).
+func WriteTNS(w io.Writer, t *COO) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var sb []byte
+	for k := 0; k < t.NNZ(); k++ {
+		sb = sb[:0]
+		for m := 0; m < t.Order(); m++ {
+			sb = strconv.AppendInt(sb, int64(t.Inds[m][k])+1, 10)
+			sb = append(sb, ' ')
+		}
+		sb = strconv.AppendFloat(sb, t.Vals[k], 'g', -1, 64)
+		sb = append(sb, '\n')
+		if _, err := bw.Write(sb); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile reads a tensor from a .tns or .tns.gz file.
+func LoadFile(path string) (*COO, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		gz, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, err
+		}
+		defer gz.Close()
+		r = gz
+	}
+	return ReadTNS(r)
+}
+
+// SaveFile writes a tensor to a .tns or .tns.gz file.
+func SaveFile(path string, t *COO) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	var w io.Writer = f
+	if strings.HasSuffix(path, ".gz") {
+		gz := gzip.NewWriter(f)
+		defer func() {
+			if cerr := gz.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = gz
+	}
+	return WriteTNS(w, t)
+}

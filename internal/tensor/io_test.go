@@ -1,0 +1,95 @@
+package tensor
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTNSRoundTrip(t *testing.T) {
+	x := smallTensor()
+	x.Sort(nil)
+	var buf bytes.Buffer
+	if err := WriteTNS(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	y, err := ReadTNS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dims are inferred as max index + 1, which can shrink modes that end
+	// in empty slices; compare the data itself.
+	if y.NNZ() != x.NNZ() {
+		t.Fatalf("nnz %d != %d", y.NNZ(), x.NNZ())
+	}
+	for k := 0; k < x.NNZ(); k++ {
+		for m := 0; m < x.Order(); m++ {
+			if x.Inds[m][k] != y.Inds[m][k] {
+				t.Fatalf("index mismatch at nz %d mode %d", k, m)
+			}
+		}
+		if x.Vals[k] != y.Vals[k] {
+			t.Fatalf("value mismatch at nz %d", k)
+		}
+	}
+}
+
+func TestReadTNSCommentsAndBlank(t *testing.T) {
+	in := "# a comment\n\n1 1 1 2.5\n  2 3 1 -1\n"
+	x, err := ReadTNS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Order() != 3 || x.NNZ() != 2 {
+		t.Fatalf("order=%d nnz=%d", x.Order(), x.NNZ())
+	}
+	if x.Dims[0] != 2 || x.Dims[1] != 3 || x.Dims[2] != 1 {
+		t.Fatalf("dims = %v", x.Dims)
+	}
+	if x.Vals[0] != 2.5 || x.Vals[1] != -1 {
+		t.Fatalf("vals = %v", x.Vals)
+	}
+}
+
+func TestReadTNSErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "# only comments\n",
+		"mixed order":    "1 1 1 1.0\n1 1 2.0\n",
+		"zero index":     "0 1 1.0\n",
+		"bad index":      "x 1 1.0\n",
+		"bad value":      "1 1 zz\n",
+		"lonely field":   "42\n",
+		"negative index": "-3 1 1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTNS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: ReadTNS accepted %q", name, in)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	x := smallTensor()
+	x.Sort(nil)
+	for _, name := range []string{"t.tns", "t.tns.gz"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, x); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		y, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if y.NNZ() != x.NNZ() || y.Order() != x.Order() {
+			t.Fatalf("%s: shape mismatch", name)
+		}
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.tns")); err == nil {
+		t.Fatal("LoadFile of missing file succeeded")
+	}
+}
