@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench fuzz experiments experiments-quick examples clean
+.PHONY: all build vet test test-race bench bench-kernels ci fuzz experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -20,6 +20,13 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable microbenchmarks of the shared kernel layer.
+bench-kernels:
+	$(GO) test -bench=Kernel -benchmem -json -run='^$$' ./internal/kernel/ > BENCH_kernels.json
+
+ci:
+	./scripts/ci.sh
 
 fuzz:
 	$(GO) test -fuzz FuzzReadTNS -fuzztime 30s ./internal/tensor/

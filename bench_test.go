@@ -62,6 +62,7 @@ func benchSweep(b *testing.B, x *tensor.COO, e engine.Engine, rank int) {
 	}
 	out := dense.New(maxDim(x.Dims), rank)
 	exp.SweepOnce(e, x, fs, out) // warm-up
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		exp.SweepOnce(e, x, fs, out)

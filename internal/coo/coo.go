@@ -11,6 +11,7 @@ import (
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/kernel"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
@@ -20,12 +21,17 @@ type Engine struct {
 	x       *tensor.COO
 	workers int
 	stripes *par.Stripes
+	arena   *kernel.Arena
 	ops     atomic.Int64
 }
 
 // New builds a COO engine over x. workers <= 0 selects GOMAXPROCS.
 func New(x *tensor.COO, workers int) *Engine {
-	return &Engine{x: x, workers: workers, stripes: par.NewStripes(1024)}
+	w := workers
+	if w <= 0 {
+		w = par.MaxWorkers()
+	}
+	return &Engine{x: x, workers: workers, arena: kernel.NewArena(w, 1)}
 }
 
 // Name implements engine.Engine.
@@ -42,6 +48,16 @@ func (e *Engine) Stats() engine.Stats {
 // ResetStats implements engine.Engine.
 func (e *Engine) ResetStats() { e.ops.Store(0) }
 
+// ensureStripes sizes the scatter lock pool from the actual output height
+// (next power of two, capped at 8192). Output heights differ per mode, so
+// the pool grows lazily to the largest mode seen; regrowth only ever
+// happens on the single-threaded entry path.
+func (e *Engine) ensureStripes(rows int) {
+	if e.stripes == nil || (e.stripes.Len() < rows && e.stripes.Len() < 8192) {
+		e.stripes = par.StripesFor(rows)
+	}
+}
+
 // MTTKRP implements engine.Engine. Parallelizes over nonzero blocks; output
 // rows are protected by striped locks since distinct nonzeros may target the
 // same row.
@@ -52,31 +68,38 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 	if out.Rows != x.Dims[mode] {
 		panic("coo: MTTKRP output row count mismatch")
 	}
+	e.ensureStripes(out.Rows)
+	e.arena.EnsureRank(r)
 	out.Zero()
 	target := x.Inds[mode]
-	par.ForRange(x.NNZ(), e.workers, func(lo, hi int) {
-		row := make([]float64, r)
+	stripes := e.stripes
+	par.ForWorker(x.NNZ(), e.workers, func(worker, lo, hi int) {
+		row := e.arena.Buf(worker, 0)
 		for k := lo; k < hi; k++ {
-			v := x.Vals[k]
-			for j := range row {
-				row[j] = v
-			}
+			// Fold the first non-target factor row in with the value
+			// broadcast, then Hadamard-multiply the remaining rows.
+			first := true
 			for m := 0; m < n; m++ {
 				if m == mode {
 					continue
 				}
 				f := factors[m].Row(int(x.Inds[m][k]))
+				if first {
+					kernel.Scale(row, f, x.Vals[k])
+					first = false
+				} else {
+					kernel.MulInto(row, f)
+				}
+			}
+			if first { // degenerate order-1 tensor: bare value broadcast
 				for j := range row {
-					row[j] *= f[j]
+					row[j] = x.Vals[k]
 				}
 			}
 			i := target[k]
-			e.stripes.Lock(i)
-			o := out.Row(int(i))
-			for j := range row {
-				o[j] += row[j]
-			}
-			e.stripes.Unlock(i)
+			stripes.Lock(i)
+			kernel.AddInto(out.Row(int(i)), row)
+			stripes.Unlock(i)
 		}
 		e.ops.Add(int64(hi-lo) * int64(n) * int64(r))
 	})

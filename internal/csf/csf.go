@@ -7,7 +7,11 @@
 //
 // The AllMode engine keeps one CSF tree per mode (SPLATT's ALLMODE
 // configuration) and always runs the root-mode kernel, which parallelizes
-// race-free over root fibers.
+// race-free over root fibers. Both engines run on the shared kernel layer:
+// per-worker scratch comes from a kernel.Arena sized once at construction,
+// and root fibers are scheduled in equal-nnz chunks (leaf-count-weighted
+// prefix sums) rather than fixed-size blocks, so one heavy fiber cannot
+// serialize a whole block of light ones.
 package csf
 
 import (
@@ -16,9 +20,14 @@ import (
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/kernel"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
+
+// rootChunksPerWorker is the load-balancing oversubscription factor: root
+// fibers are split into workers × rootChunksPerWorker equal-nnz chunks.
+const rootChunksPerWorker = 8
 
 // Tensor is one CSF tree: levels ordered by ModeOrder, with Fids[l] holding
 // the mode index of every node at level l, Ptr[l] delimiting the children of
@@ -30,6 +39,10 @@ type Tensor struct {
 	Fids      [][]tensor.Index
 	Ptr       [][]int64
 	Vals      []float64
+	// RootLeafPtr is the prefix of leaf (= nonzero) counts per root fiber:
+	// root fiber i owns leaves [RootLeafPtr[i], RootLeafPtr[i+1]). It is the
+	// weight array the load-balanced schedulers chunk by.
+	RootLeafPtr []int64
 }
 
 // Build constructs a CSF tree from a deduplicated COO tensor using the given
@@ -75,6 +88,9 @@ func Build(x *tensor.COO, modeOrder []int) *Tensor {
 		if k == 0 {
 			diverge = 0
 		}
+		if diverge == 0 {
+			t.RootLeafPtr = append(t.RootLeafPtr, int64(len(t.Vals)))
+		}
 		for l := diverge; l < n; l++ {
 			if l < n-1 {
 				t.Ptr[l] = append(t.Ptr[l], int64(len(t.Fids[l+1])))
@@ -87,6 +103,7 @@ func Build(x *tensor.COO, modeOrder []int) *Tensor {
 	for l := 0; l < n-1; l++ {
 		t.Ptr[l] = append(t.Ptr[l], int64(len(t.Fids[l+1])))
 	}
+	t.RootLeafPtr = append(t.RootLeafPtr, int64(len(t.Vals)))
 	return t
 }
 
@@ -117,69 +134,135 @@ func (t *Tensor) children(l int, node int64) (int64, int64) {
 	return t.Ptr[l][node], t.Ptr[l][node+1]
 }
 
+// rootWalker is the reusable per-worker state of the root-mode kernel: one
+// scratch R-vector per level (arena-backed) plus the call-scoped inputs. A
+// method-based walker instead of closures keeps the steady-state kernel
+// allocation-free.
+type rootWalker struct {
+	t       *Tensor
+	factors []*dense.Matrix
+	scratch [][]float64 // one R-vector per level
+	local   int64
+	r       int
+}
+
+// walk computes the subtree TTV of the node at (l, id), already multiplied
+// by the node's own factor row (levels >= 1).
+func (w *rootWalker) walk(l int, id int64) []float64 {
+	t := w.t
+	n := len(t.ModeOrder)
+	buf := w.scratch[l]
+	if l == n-1 {
+		kernel.Scale(buf, w.factors[t.ModeOrder[l]].Row(int(t.Fids[l][id])), t.Vals[id])
+		w.local += int64(w.r)
+		return buf
+	}
+	for j := range buf {
+		buf[j] = 0
+	}
+	c0, c1 := t.children(l, id)
+	for c := c0; c < c1; c++ {
+		kernel.AddInto(buf, w.walk(l+1, c))
+		w.local += int64(w.r)
+	}
+	if l > 0 {
+		kernel.MulInto(buf, w.factors[t.ModeOrder[l]].Row(int(t.Fids[l][id])))
+		w.local += int64(w.r)
+	}
+	return buf
+}
+
+// rootState bundles the preallocated scheduling and scratch state of the
+// root kernel for one tree: equal-nnz chunk bounds over root fibers and one
+// walker per worker.
+type rootState struct {
+	bounds  []int
+	walkers []rootWalker
+	arena   *kernel.Arena
+	// Call-scoped kernel inputs plus a method value bound once at
+	// construction: passing the same func value to the scheduler on every
+	// call (instead of a fresh closure literal) is what keeps the
+	// steady-state kernel at zero allocations.
+	t    *Tensor
+	out  *dense.Matrix
+	body func(worker, lo, hi int)
+}
+
+// newRootState sizes the root-kernel state for t with the given resolved
+// worker count (must be >= 1).
+func newRootState(t *Tensor, workers int) *rootState {
+	s := &rootState{
+		bounds:  par.WeightedBounds(t.RootLeafPtr, workers*rootChunksPerWorker),
+		walkers: make([]rootWalker, workers),
+		arena:   kernel.NewArena(workers, len(t.ModeOrder)),
+	}
+	s.body = s.runChunk
+	return s
+}
+
+// runChunk processes one scheduled chunk of root fibers.
+func (s *rootState) runChunk(worker, lo, hi int) {
+	t, out := s.t, s.out
+	wk := &s.walkers[worker]
+	for root := lo; root < hi; root++ {
+		copy(out.Row(int(t.Fids[0][root])), wk.walk(0, int64(root)))
+	}
+}
+
+// prepare re-points the walkers at the current rank's arena buffers. Called
+// from the single-threaded kernel entry.
+func (s *rootState) prepare(t *Tensor, factors []*dense.Matrix, r int) {
+	n := len(t.ModeOrder)
+	s.arena.EnsureRank(r)
+	for w := range s.walkers {
+		wk := &s.walkers[w]
+		wk.t = t
+		wk.factors = factors
+		wk.r = r
+		wk.local = 0
+		if wk.scratch == nil {
+			wk.scratch = make([][]float64, n)
+		}
+		for l := 0; l < n; l++ {
+			wk.scratch[l] = s.arena.Buf(w, l)
+		}
+	}
+}
+
+// mttkrpRoot is the engine-facing root kernel: load-balanced over equal-nnz
+// root-fiber chunks, allocation-free in steady state.
+func (t *Tensor) mttkrpRoot(factors []*dense.Matrix, out *dense.Matrix, workers int, s *rootState) int64 {
+	out.Zero()
+	s.prepare(t, factors, out.Cols)
+	s.t, s.out = t, out
+	par.ForChunks(s.bounds, workers, s.body)
+	s.t, s.out = nil, nil
+	var ops int64
+	for w := range s.walkers {
+		ops += s.walkers[w].local
+	}
+	return ops
+}
+
 // MTTKRPRoot computes the MTTKRP for the tree's root mode into out
 // (Dims[ModeOrder[0]] × R), overwriting it. factors holds one matrix per
 // original mode. Returns the number of Hadamard op units performed.
+//
+// This standalone form builds transient scheduling state per call; the
+// engines hold a persistent rootState instead and stay allocation-free.
 func (t *Tensor) MTTKRPRoot(factors []*dense.Matrix, out *dense.Matrix, workers int) int64 {
-	n := len(t.ModeOrder)
-	r := out.Cols
-	out.Zero()
-	var ops atomic.Int64
-	nroots := len(t.Fids[0])
-	par.ForBlocks(nroots, 64, workers, func(lo, hi int) {
-		// Per-worker scratch: one R-vector per level.
-		scratch := make([][]float64, n)
-		for l := range scratch {
-			scratch[l] = make([]float64, r)
-		}
-		var local int64
-		// walk computes the subtree TTV of the node at (l, id), already
-		// multiplied by the node's own factor row (levels >= 1).
-		var walk func(l int, id int64) []float64
-		walk = func(l int, id int64) []float64 {
-			buf := scratch[l]
-			if l == n-1 {
-				f := factors[t.ModeOrder[l]].Row(int(t.Fids[l][id]))
-				v := t.Vals[id]
-				for j := range buf {
-					buf[j] = v * f[j]
-				}
-				local += int64(r)
-				return buf
-			}
-			for j := range buf {
-				buf[j] = 0
-			}
-			c0, c1 := t.children(l, id)
-			for c := c0; c < c1; c++ {
-				cb := walk(l+1, c)
-				for j := range buf {
-					buf[j] += cb[j]
-				}
-				local += int64(r)
-			}
-			if l > 0 {
-				f := factors[t.ModeOrder[l]].Row(int(t.Fids[l][id]))
-				for j := range buf {
-					buf[j] *= f[j]
-				}
-				local += int64(r)
-			}
-			return buf
-		}
-		for root := lo; root < hi; root++ {
-			res := walk(0, int64(root))
-			copy(out.Row(int(t.Fids[0][root])), res)
-		}
-		ops.Add(local)
-	})
-	return ops.Load()
+	w := workers
+	if w <= 0 {
+		w = par.MaxWorkers()
+	}
+	return t.mttkrpRoot(factors, out, workers, newRootState(t, w))
 }
 
 // AllMode is the SPLATT-ALLMODE engine: one CSF tree per mode, root-mode
 // kernel for every MTTKRP.
 type AllMode struct {
 	trees   []*Tensor
+	states  []*rootState
 	workers int
 	ops     atomic.Int64
 	idxB    int64
@@ -190,7 +273,11 @@ type AllMode struct {
 // near the root (the standard SPLATT heuristic).
 func NewAllMode(x *tensor.COO, workers int) *AllMode {
 	n := x.Order()
-	e := &AllMode{trees: make([]*Tensor, n), workers: workers}
+	w := workers
+	if w <= 0 {
+		w = par.MaxWorkers()
+	}
+	e := &AllMode{trees: make([]*Tensor, n), states: make([]*rootState, n), workers: workers}
 	for mode := 0; mode < n; mode++ {
 		rest := make([]int, 0, n-1)
 		for m := 0; m < n; m++ {
@@ -206,6 +293,7 @@ func NewAllMode(x *tensor.COO, workers int) *AllMode {
 		})
 		order := append([]int{mode}, rest...)
 		e.trees[mode] = Build(x, order)
+		e.states[mode] = newRootState(e.trees[mode], w)
 		e.idxB += e.trees[mode].IndexBytes()
 	}
 	return e
@@ -233,7 +321,7 @@ func (e *AllMode) ResetStats() { e.ops.Store(0) }
 
 // MTTKRP implements engine.Engine.
 func (e *AllMode) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
-	e.ops.Add(e.trees[mode].MTTKRPRoot(factors, out, e.workers))
+	e.ops.Add(e.trees[mode].mttkrpRoot(factors, out, e.workers, e.states[mode]))
 }
 
 var _ engine.Engine = (*AllMode)(nil)

@@ -6,9 +6,148 @@ import (
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/kernel"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
+
+// levelWalker is the reusable per-worker state of the general level kernel:
+// arena-backed upward-reduction and downward-product scratch plus the
+// call-scoped inputs, structured as methods (not closures) so the
+// steady-state kernel performs no allocation.
+type levelWalker struct {
+	t       *Tensor
+	factors []*dense.Matrix
+	out     *dense.Matrix
+	stripes *par.Stripes
+	level   int
+	up      [][]float64 // one R-vector per level
+	down    [][]float64 // one R-vector per level above the target
+	local   int64
+	r       int
+}
+
+// walkUp computes the subtree TTV of node (l, id) over the modes of levels
+// l+1..n-1 (excluding level l's own factor row).
+func (w *levelWalker) walkUp(l int, id int64) []float64 {
+	t := w.t
+	n := len(t.ModeOrder)
+	buf := w.up[l]
+	if l == n-1 {
+		v := t.Vals[id]
+		for j := range buf {
+			buf[j] = v
+		}
+		return buf
+	}
+	for j := range buf {
+		buf[j] = 0
+	}
+	c0, c1 := t.children(l, id)
+	f := w.factors[t.ModeOrder[l+1]]
+	for c := c0; c < c1; c++ {
+		kernel.FMAInto(buf, w.walkUp(l+1, c), f.Row(int(t.Fids[l+1][c])))
+		w.local += 2 * int64(w.r)
+	}
+	return buf
+}
+
+// walkDown carries the Hadamard product of the factor rows at levels
+// 0..l-1 and fires the accumulation at the target level.
+func (w *levelWalker) walkDown(l int, id int64) {
+	t := w.t
+	if l == w.level {
+		res := w.walkUp(l, id)
+		d := w.down[l-1]
+		fid := t.Fids[l][id]
+		w.stripes.Lock(fid)
+		kernel.FMAInto(w.out.Row(int(fid)), res, d)
+		w.stripes.Unlock(fid)
+		w.local += int64(w.r)
+		return
+	}
+	// Extend the downward product with this level's factor row.
+	buf := w.down[l]
+	frow := w.factors[t.ModeOrder[l]].Row(int(t.Fids[l][id]))
+	if l == 0 {
+		copy(buf, frow)
+	} else {
+		kernel.Mul(buf, w.down[l-1], frow)
+	}
+	w.local += int64(w.r)
+	c0, c1 := t.children(l, id)
+	for c := c0; c < c1; c++ {
+		w.walkDown(l+1, c)
+	}
+}
+
+// levelState bundles the preallocated scheduling and scratch state of the
+// level kernel for one tree: equal-nnz chunk bounds over root fibers and
+// one walker per worker (up and down scratch live in one arena, 2n slots
+// per worker).
+type levelState struct {
+	bounds  []int
+	walkers []levelWalker
+	arena   *kernel.Arena
+	// body is bound once at construction so each call passes the same func
+	// value to the scheduler (no per-call closure allocation).
+	body func(worker, lo, hi int)
+}
+
+func newLevelState(t *Tensor, workers int) *levelState {
+	s := &levelState{
+		bounds:  par.WeightedBounds(t.RootLeafPtr, workers*rootChunksPerWorker),
+		walkers: make([]levelWalker, workers),
+		arena:   kernel.NewArena(workers, 2*len(t.ModeOrder)),
+	}
+	s.body = s.runChunk
+	return s
+}
+
+// runChunk processes one scheduled chunk of root fibers.
+func (s *levelState) runChunk(worker, lo, hi int) {
+	wk := &s.walkers[worker]
+	for root := lo; root < hi; root++ {
+		wk.walkDown(0, int64(root))
+	}
+}
+
+func (s *levelState) prepare(t *Tensor, factors []*dense.Matrix, out *dense.Matrix, level, r int, stripes *par.Stripes) {
+	n := len(t.ModeOrder)
+	s.arena.EnsureRank(r)
+	for w := range s.walkers {
+		wk := &s.walkers[w]
+		wk.t = t
+		wk.factors = factors
+		wk.out = out
+		wk.stripes = stripes
+		wk.level = level
+		wk.r = r
+		wk.local = 0
+		if wk.up == nil {
+			wk.up = make([][]float64, n)
+			wk.down = make([][]float64, n)
+		}
+		for l := 0; l < n; l++ {
+			wk.up[l] = s.arena.Buf(w, l)
+			wk.down[l] = s.arena.Buf(w, n+l)
+		}
+	}
+}
+
+// mttkrpLevel is the engine-facing level kernel (level >= 1):
+// load-balanced over equal-nnz root-fiber chunks, allocation-free in
+// steady state.
+func (t *Tensor) mttkrpLevel(level int, factors []*dense.Matrix, out *dense.Matrix, workers int, stripes *par.Stripes, s *levelState) int64 {
+	out.Zero()
+	s.prepare(t, factors, out, level, out.Cols, stripes)
+	par.ForChunks(s.bounds, workers, s.body)
+	var ops int64
+	for w := range s.walkers {
+		ops += s.walkers[w].local
+	}
+	return ops
+}
 
 // MTTKRPLevel computes the MTTKRP for the mode stored at the given CSF
 // level, using the general two-direction kernel: the product of the factor
@@ -20,97 +159,18 @@ import (
 // accumulation); deeper levels use striped row locks because nodes in
 // different root subtrees can share an output row. Returns the Hadamard op
 // unit count.
+//
+// This standalone form builds transient scheduling state per call; the
+// Single engine holds persistent state instead and stays allocation-free.
 func (t *Tensor) MTTKRPLevel(level int, factors []*dense.Matrix, out *dense.Matrix, workers int, stripes *par.Stripes) int64 {
 	if level == 0 {
 		return t.MTTKRPRoot(factors, out, workers)
 	}
-	n := len(t.ModeOrder)
-	r := out.Cols
-	out.Zero()
-	var ops atomic.Int64
-	nroots := len(t.Fids[0])
-	par.ForBlocks(nroots, 64, workers, func(lo, hi int) {
-		// Scratch: one R-vector per level for the upward reductions, one per
-		// level above the target for the downward products.
-		up := make([][]float64, n)
-		down := make([][]float64, level+1)
-		for l := range up {
-			up[l] = make([]float64, r)
-		}
-		for l := range down {
-			down[l] = make([]float64, r)
-		}
-		var local int64
-
-		// walkUp computes the subtree TTV of node (l, id) over the modes of
-		// levels l+1..n-1 (excluding level l's own factor row).
-		var walkUp func(l int, id int64) []float64
-		walkUp = func(l int, id int64) []float64 {
-			buf := up[l]
-			if l == n-1 {
-				v := t.Vals[id]
-				for j := range buf {
-					buf[j] = v
-				}
-				return buf
-			}
-			for j := range buf {
-				buf[j] = 0
-			}
-			c0, c1 := t.children(l, id)
-			f := factors[t.ModeOrder[l+1]]
-			for c := c0; c < c1; c++ {
-				cb := walkUp(l+1, c)
-				crow := f.Row(int(t.Fids[l+1][c]))
-				for j := range buf {
-					buf[j] += cb[j] * crow[j]
-				}
-				local += 2 * int64(r)
-			}
-			return buf
-		}
-
-		// walkDown carries the Hadamard product of the factor rows at
-		// levels 0..l-1 and fires the accumulation at the target level.
-		var walkDown func(l int, id int64)
-		walkDown = func(l int, id int64) {
-			if l == level {
-				res := walkUp(l, id)
-				d := down[l-1]
-				fid := t.Fids[l][id]
-				stripes.Lock(fid)
-				orow := out.Row(int(fid))
-				for j := range orow {
-					orow[j] += res[j] * d[j]
-				}
-				stripes.Unlock(fid)
-				local += int64(r)
-				return
-			}
-			// Extend the downward product with this level's factor row.
-			buf := down[l]
-			frow := factors[t.ModeOrder[l]].Row(int(t.Fids[l][id]))
-			if l == 0 {
-				copy(buf, frow)
-			} else {
-				prev := down[l-1]
-				for j := range buf {
-					buf[j] = prev[j] * frow[j]
-				}
-			}
-			local += int64(r)
-			c0, c1 := t.children(l, id)
-			for c := c0; c < c1; c++ {
-				walkDown(l+1, c)
-			}
-		}
-
-		for root := lo; root < hi; root++ {
-			walkDown(0, int64(root))
-		}
-		ops.Add(local)
-	})
-	return ops.Load()
+	w := workers
+	if w <= 0 {
+		w = par.MaxWorkers()
+	}
+	return t.mttkrpLevel(level, factors, out, workers, stripes, newLevelState(t, w))
 }
 
 // Single is the single-tree CSF engine (SPLATT's memory-lean ONEMODE
@@ -122,6 +182,8 @@ type Single struct {
 	levelOf []int // levelOf[mode] = CSF level holding that mode
 	workers int
 	stripes *par.Stripes
+	root    *rootState
+	deep    *levelState
 	ops     atomic.Int64
 }
 
@@ -138,7 +200,23 @@ func NewSingle(x *tensor.COO, workers int) *Single {
 		}
 		return order[a] < order[b]
 	})
-	e := &Single{tree: Build(x, order), workers: workers, stripes: par.NewStripes(1024)}
+	w := workers
+	if w <= 0 {
+		w = par.MaxWorkers()
+	}
+	maxDim := 0
+	for _, d := range x.Dims {
+		if d > maxDim {
+			maxDim = d
+		}
+	}
+	e := &Single{
+		tree:    Build(x, order),
+		workers: workers,
+		stripes: par.StripesFor(maxDim),
+	}
+	e.root = newRootState(e.tree, w)
+	e.deep = newLevelState(e.tree, w)
 	e.levelOf = make([]int, n)
 	for l, m := range order {
 		e.levelOf[m] = l
@@ -163,7 +241,12 @@ func (e *Single) ResetStats() { e.ops.Store(0) }
 
 // MTTKRP implements engine.Engine.
 func (e *Single) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
-	e.ops.Add(e.tree.MTTKRPLevel(e.levelOf[mode], factors, out, e.workers, e.stripes))
+	level := e.levelOf[mode]
+	if level == 0 {
+		e.ops.Add(e.tree.mttkrpRoot(factors, out, e.workers, e.root))
+		return
+	}
+	e.ops.Add(e.tree.mttkrpLevel(level, factors, out, e.workers, e.stripes, e.deep))
 }
 
 var _ engine.Engine = (*Single)(nil)

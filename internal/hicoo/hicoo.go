@@ -17,6 +17,7 @@ import (
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/kernel"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
@@ -112,12 +113,38 @@ type Engine struct {
 	t       *Tensor
 	workers int
 	stripes *par.Stripes
-	ops     atomic.Int64
+	arena   *kernel.Arena
+	// chunks holds equal-nnz chunk boundaries over the blocks (blocks have
+	// skewed occupancy, so element-weighted chunking balances the load);
+	// base holds per-worker decoded block-origin scratch.
+	chunks []int
+	base   [][]int
+	ops    atomic.Int64
 }
 
 // New builds the blocked engine over x.
 func New(x *tensor.COO, workers int) *Engine {
-	return &Engine{t: Build(x), workers: workers, stripes: par.NewStripes(1024)}
+	t := Build(x)
+	w := workers
+	if w <= 0 {
+		w = par.MaxWorkers()
+	}
+	// Per-block nonzero counts as a prefix sum (BPtr already is one).
+	prefix := make([]int64, len(t.BPtr))
+	for i, p := range t.BPtr {
+		prefix[i] = int64(p)
+	}
+	e := &Engine{
+		t:       t,
+		workers: workers,
+		arena:   kernel.NewArena(w, 1),
+		chunks:  par.WeightedBounds(prefix, w*8),
+		base:    make([][]int, w),
+	}
+	for i := range e.base {
+		e.base[i] = make([]int, len(t.Dims))
+	}
+	return e
 }
 
 // Name implements engine.Engine.
@@ -150,11 +177,16 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 	if out.Rows != t.Dims[mode] {
 		panic("hicoo: MTTKRP output row count mismatch")
 	}
+	if e.stripes == nil || (e.stripes.Len() < out.Rows && e.stripes.Len() < 8192) {
+		e.stripes = par.StripesFor(out.Rows)
+	}
+	e.arena.EnsureRank(r)
 	out.Zero()
 	var ops atomic.Int64
-	par.ForBlocks(t.NBlocks(), 16, e.workers, func(lo, hi int) {
-		row := make([]float64, r)
-		base := make([]int, n)
+	stripes := e.stripes
+	par.ForChunks(e.chunks, e.workers, func(worker, lo, hi int) {
+		row := e.arena.Buf(worker, 0)
+		base := e.base[worker]
 		var local int64
 		for b := lo; b < hi; b++ {
 			for m := 0; m < n; m++ {
@@ -162,26 +194,23 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 			}
 			k0, k1 := t.BPtr[b], t.BPtr[b+1]
 			for k := k0; k < k1; k++ {
-				v := t.Vals[k]
-				for j := range row {
-					row[j] = v
-				}
+				first := true
 				for m := 0; m < n; m++ {
 					if m == mode {
 						continue
 					}
 					f := factors[m].Row(base[m] + int(t.EInds[m][k]))
-					for j := range row {
-						row[j] *= f[j]
+					if first {
+						kernel.Scale(row, f, t.Vals[k])
+						first = false
+					} else {
+						kernel.MulInto(row, f)
 					}
 				}
 				i := int32(base[mode] + int(t.EInds[mode][k]))
-				e.stripes.Lock(i)
-				o := out.Row(int(i))
-				for j := range row {
-					o[j] += row[j]
-				}
-				e.stripes.Unlock(i)
+				stripes.Lock(i)
+				kernel.AddInto(out.Row(int(i)), row)
+				stripes.Unlock(i)
 			}
 			local += int64(k1-k0) * int64(n) * int64(r)
 		}

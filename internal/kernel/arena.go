@@ -1,0 +1,67 @@
+package kernel
+
+// Arena is a set of per-worker scratch R-vectors backed by one contiguous
+// allocation, sized once (workers × slots × R) and reused across every
+// MTTKRP call of an engine. Engines create the arena at construction with
+// the worker count and the number of scratch slots each worker needs (e.g.
+// one per CSF level), then call EnsureRank at the top of each kernel
+// invocation; after the first call at a given rank the arena performs no
+// allocation, which is what makes the steady-state hot loops alloc-free.
+//
+// EnsureRank must be called from the (single-threaded) kernel entry point,
+// never from inside a parallel region. Buf is safe to call concurrently for
+// distinct workers: slots of different workers never overlap.
+type Arena struct {
+	workers int
+	slots   int
+	r       int
+	data    []float64
+}
+
+// NewArena creates an arena for the given worker count and per-worker slot
+// count. Both must be at least 1 (engines resolve workers <= 0 to the
+// default parallel width before constructing the arena). The backing store
+// is allocated lazily by the first EnsureRank.
+func NewArena(workers, slots int) *Arena {
+	if workers < 1 {
+		workers = 1
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return &Arena{workers: workers, slots: slots}
+}
+
+// Workers returns the worker count the arena was sized for.
+func (a *Arena) Workers() int { return a.workers }
+
+// Rank returns the current scratch vector length (0 before the first
+// EnsureRank).
+func (a *Arena) Rank() int { return a.r }
+
+// EnsureRank resizes the scratch vectors to length r. Growing past the
+// backing store's capacity reallocates; shrinking or re-requesting the
+// current rank only re-slices, so rank changes within a run never thrash.
+func (a *Arena) EnsureRank(r int) {
+	if r == a.r {
+		return
+	}
+	need := a.workers * a.slots * r
+	if need <= cap(a.data) {
+		a.data = a.data[:need]
+	} else {
+		a.data = make([]float64, need)
+	}
+	a.r = r
+}
+
+// Buf returns worker w's slot s scratch vector (length = current rank). The
+// returned slice has its capacity clipped so appends never bleed into a
+// neighboring slot.
+func (a *Arena) Buf(w, s int) []float64 {
+	base := (w*a.slots + s) * a.r
+	return a.data[base : base+a.r : base+a.r]
+}
+
+// Bytes reports the backing storage size of the arena.
+func (a *Arena) Bytes() int64 { return int64(cap(a.data)) * 8 }

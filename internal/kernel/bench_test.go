@@ -1,0 +1,133 @@
+// Microbenchmarks for the shared kernel primitives, across the ranks the
+// experiment grid sweeps (8, 16, 32 hit the specialized bodies; 17 and 64
+// exercise the generic unrolled path). `make bench-kernels` emits these as
+// BENCH_kernels.json.
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+var benchRanks = []int{8, 16, 17, 32, 64}
+
+func benchVecs(r int) (dst, a, b, c []float64) {
+	rng := rand.New(rand.NewSource(int64(r)))
+	dst, a, b, c = randVec(r, rng), randVec(r, rng), randVec(r, rng), randVec(r, rng)
+	return
+}
+
+func BenchmarkKernelScale(b *testing.B) {
+	for _, r := range benchRanks {
+		dst, src, _, _ := benchVecs(r)
+		b.Run(fmt.Sprintf("r%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(r) * 8)
+			for i := 0; i < b.N; i++ {
+				Scale(dst, src, 1.0000001)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelMulInto(b *testing.B) {
+	for _, r := range benchRanks {
+		dst, src, _, _ := benchVecs(r)
+		b.Run(fmt.Sprintf("r%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(r) * 8)
+			for i := 0; i < b.N; i++ {
+				MulInto(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelAddInto(b *testing.B) {
+	for _, r := range benchRanks {
+		dst, src, _, _ := benchVecs(r)
+		b.Run(fmt.Sprintf("r%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(r) * 8)
+			for i := 0; i < b.N; i++ {
+				AddInto(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelFMAInto(b *testing.B) {
+	for _, r := range benchRanks {
+		dst, x, y, _ := benchVecs(r)
+		b.Run(fmt.Sprintf("r%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(r) * 8)
+			for i := 0; i < b.N; i++ {
+				FMAInto(dst, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelAxpy(b *testing.B) {
+	for _, r := range benchRanks {
+		dst, src, _, _ := benchVecs(r)
+		b.Run(fmt.Sprintf("r%d", r), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(r) * 8)
+			for i := 0; i < b.N; i++ {
+				Axpy(dst, 1.0000001, src)
+			}
+		})
+	}
+}
+
+// BenchmarkKernelHadamardAccum compares the fused kernel against the
+// unfused broadcast–multiply–accumulate sequence it replaces in the memo
+// engine's inner loop.
+func BenchmarkKernelHadamardAccum(b *testing.B) {
+	for _, r := range benchRanks {
+		for k := 1; k <= 3; k++ {
+			dst, x, y, z := benchVecs(r)
+			rows := [][]float64{x, y, z}[:k]
+			b.Run(fmt.Sprintf("r%d/k%d/fused", r, k), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(r) * 8 * int64(k+1))
+				for i := 0; i < b.N; i++ {
+					HadamardAccum(dst, 1.0000001, rows)
+				}
+			})
+			b.Run(fmt.Sprintf("r%d/k%d/unfused", r, k), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(r) * 8 * int64(k+1))
+				tmp := make([]float64, r)
+				for i := 0; i < b.N; i++ {
+					for j := range tmp {
+						tmp[j] = 1.0000001
+					}
+					for _, row := range rows {
+						MulInto(tmp, row)
+					}
+					AddInto(dst, tmp)
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkKernelHadamardAccumVec(b *testing.B) {
+	for _, r := range benchRanks {
+		for k := 1; k <= 3; k++ {
+			dst, base, y, z := benchVecs(r)
+			rows := [][]float64{base, y, z}[:k]
+			b.Run(fmt.Sprintf("r%d/k%d", r, k), func(b *testing.B) {
+				b.ReportAllocs()
+				b.SetBytes(int64(r) * 8 * int64(k+1))
+				for i := 0; i < b.N; i++ {
+					HadamardAccumVec(dst, base, rows)
+				}
+			})
+		}
+	}
+}

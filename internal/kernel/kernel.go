@@ -1,0 +1,298 @@
+// Package kernel holds the shared rank-blocked MTTKRP primitives every
+// sparse engine in the repository is built on: element-wise multiply /
+// accumulate operations over length-R factor rows, plus fused
+// Hadamard-accumulate kernels that multiply several factor rows into an
+// accumulator in a single pass over the rank dimension.
+//
+// All primitives are allocation-free and branch once on the vector length:
+// the ranks the experiment grid sweeps (R = 8, 16, 32) dispatch to
+// fixed-size bodies (array-pointer conversions let the compiler drop every
+// bounds check and fully unroll), and every other length runs a 4-wide
+// unrolled loop with a scalar tail. Engines are expected to call these with
+// rows of equal length; lengths are taken from dst and inputs must be at
+// least as long.
+package kernel
+
+// Scale writes dst[j] = a * src[j].
+func Scale(dst, src []float64, a float64) {
+	switch len(dst) {
+	case 8:
+		d, s := (*[8]float64)(dst), (*[8]float64)(src)
+		for j := range d {
+			d[j] = a * s[j]
+		}
+	case 16:
+		d, s := (*[16]float64)(dst), (*[16]float64)(src)
+		for j := range d {
+			d[j] = a * s[j]
+		}
+	case 32:
+		d, s := (*[32]float64)(dst), (*[32]float64)(src)
+		for j := range d {
+			d[j] = a * s[j]
+		}
+	default:
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] = a * src[j]
+			dst[j+1] = a * src[j+1]
+			dst[j+2] = a * src[j+2]
+			dst[j+3] = a * src[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] = a * src[j]
+		}
+	}
+}
+
+// Mul writes dst[j] = a[j] * b[j]. dst may alias a or b.
+func Mul(dst, a, b []float64) {
+	switch len(dst) {
+	case 8:
+		d, x, y := (*[8]float64)(dst), (*[8]float64)(a), (*[8]float64)(b)
+		for j := range d {
+			d[j] = x[j] * y[j]
+		}
+	case 16:
+		d, x, y := (*[16]float64)(dst), (*[16]float64)(a), (*[16]float64)(b)
+		for j := range d {
+			d[j] = x[j] * y[j]
+		}
+	case 32:
+		d, x, y := (*[32]float64)(dst), (*[32]float64)(a), (*[32]float64)(b)
+		for j := range d {
+			d[j] = x[j] * y[j]
+		}
+	default:
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] = a[j] * b[j]
+			dst[j+1] = a[j+1] * b[j+1]
+			dst[j+2] = a[j+2] * b[j+2]
+			dst[j+3] = a[j+3] * b[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] = a[j] * b[j]
+		}
+	}
+}
+
+// MulInto writes dst[j] *= src[j].
+func MulInto(dst, src []float64) {
+	switch len(dst) {
+	case 8:
+		d, s := (*[8]float64)(dst), (*[8]float64)(src)
+		for j := range d {
+			d[j] *= s[j]
+		}
+	case 16:
+		d, s := (*[16]float64)(dst), (*[16]float64)(src)
+		for j := range d {
+			d[j] *= s[j]
+		}
+	case 32:
+		d, s := (*[32]float64)(dst), (*[32]float64)(src)
+		for j := range d {
+			d[j] *= s[j]
+		}
+	default:
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] *= src[j]
+			dst[j+1] *= src[j+1]
+			dst[j+2] *= src[j+2]
+			dst[j+3] *= src[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] *= src[j]
+		}
+	}
+}
+
+// AddInto writes dst[j] += src[j].
+func AddInto(dst, src []float64) {
+	switch len(dst) {
+	case 8:
+		d, s := (*[8]float64)(dst), (*[8]float64)(src)
+		for j := range d {
+			d[j] += s[j]
+		}
+	case 16:
+		d, s := (*[16]float64)(dst), (*[16]float64)(src)
+		for j := range d {
+			d[j] += s[j]
+		}
+	case 32:
+		d, s := (*[32]float64)(dst), (*[32]float64)(src)
+		for j := range d {
+			d[j] += s[j]
+		}
+	default:
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] += src[j]
+			dst[j+1] += src[j+1]
+			dst[j+2] += src[j+2]
+			dst[j+3] += src[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += src[j]
+		}
+	}
+}
+
+// FMAInto writes dst[j] += a[j] * b[j].
+func FMAInto(dst, a, b []float64) {
+	switch len(dst) {
+	case 8:
+		d, x, y := (*[8]float64)(dst), (*[8]float64)(a), (*[8]float64)(b)
+		for j := range d {
+			d[j] += x[j] * y[j]
+		}
+	case 16:
+		d, x, y := (*[16]float64)(dst), (*[16]float64)(a), (*[16]float64)(b)
+		for j := range d {
+			d[j] += x[j] * y[j]
+		}
+	case 32:
+		d, x, y := (*[32]float64)(dst), (*[32]float64)(a), (*[32]float64)(b)
+		for j := range d {
+			d[j] += x[j] * y[j]
+		}
+	default:
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] += a[j] * b[j]
+			dst[j+1] += a[j+1] * b[j+1]
+			dst[j+2] += a[j+2] * b[j+2]
+			dst[j+3] += a[j+3] * b[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += a[j] * b[j]
+		}
+	}
+}
+
+// Axpy writes dst[j] += a * src[j].
+func Axpy(dst []float64, a float64, src []float64) {
+	switch len(dst) {
+	case 8:
+		d, s := (*[8]float64)(dst), (*[8]float64)(src)
+		for j := range d {
+			d[j] += a * s[j]
+		}
+	case 16:
+		d, s := (*[16]float64)(dst), (*[16]float64)(src)
+		for j := range d {
+			d[j] += a * s[j]
+		}
+	case 32:
+		d, s := (*[32]float64)(dst), (*[32]float64)(src)
+		for j := range d {
+			d[j] += a * s[j]
+		}
+	default:
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] += a * src[j]
+			dst[j+1] += a * src[j+1]
+			dst[j+2] += a * src[j+2]
+			dst[j+3] += a * src[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += a * src[j]
+		}
+	}
+}
+
+// HadamardAccum writes dst[j] += v · Π_k rows[k][j] in one pass: the
+// broadcast of the scalar, the k Hadamard multiplies, and the accumulation
+// are fused, so no temporary R-vector is needed. rows may be empty, in
+// which case it degenerates to dst[j] += v.
+func HadamardAccum(dst []float64, v float64, rows [][]float64) {
+	switch len(rows) {
+	case 0:
+		for j := range dst {
+			dst[j] += v
+		}
+	case 1:
+		Axpy(dst, v, rows[0])
+	case 2:
+		a, b := rows[0], rows[1]
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] += v * a[j] * b[j]
+			dst[j+1] += v * a[j+1] * b[j+1]
+			dst[j+2] += v * a[j+2] * b[j+2]
+			dst[j+3] += v * a[j+3] * b[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += v * a[j] * b[j]
+		}
+	case 3:
+		a, b, c := rows[0], rows[1], rows[2]
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] += v * a[j] * b[j] * c[j]
+			dst[j+1] += v * a[j+1] * b[j+1] * c[j+1]
+			dst[j+2] += v * a[j+2] * b[j+2] * c[j+2]
+			dst[j+3] += v * a[j+3] * b[j+3] * c[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += v * a[j] * b[j] * c[j]
+		}
+	default:
+		for j := range dst {
+			p := v
+			for _, row := range rows {
+				p *= row[j]
+			}
+			dst[j] += p
+		}
+	}
+}
+
+// HadamardAccumVec writes dst[j] += base[j] · Π_k rows[k][j] in one pass,
+// the vector-base variant of HadamardAccum (the base is a parent element's
+// cached R-row rather than a broadcast nonzero value). rows may be empty,
+// in which case it degenerates to AddInto(dst, base).
+func HadamardAccumVec(dst, base []float64, rows [][]float64) {
+	switch len(rows) {
+	case 0:
+		AddInto(dst, base)
+	case 1:
+		FMAInto(dst, base, rows[0])
+	case 2:
+		a, b := rows[0], rows[1]
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] += base[j] * a[j] * b[j]
+			dst[j+1] += base[j+1] * a[j+1] * b[j+1]
+			dst[j+2] += base[j+2] * a[j+2] * b[j+2]
+			dst[j+3] += base[j+3] * a[j+3] * b[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += base[j] * a[j] * b[j]
+		}
+	case 3:
+		a, b, c := rows[0], rows[1], rows[2]
+		j := 0
+		for ; j+4 <= len(dst); j += 4 {
+			dst[j] += base[j] * a[j] * b[j] * c[j]
+			dst[j+1] += base[j+1] * a[j+1] * b[j+1] * c[j+1]
+			dst[j+2] += base[j+2] * a[j+2] * b[j+2] * c[j+2]
+			dst[j+3] += base[j+3] * a[j+3] * b[j+3] * c[j+3]
+		}
+		for ; j < len(dst); j++ {
+			dst[j] += base[j] * a[j] * b[j] * c[j]
+		}
+	default:
+		for j := range dst {
+			p := base[j]
+			for _, row := range rows {
+				p *= row[j]
+			}
+			dst[j] += p
+		}
+	}
+}

@@ -1,0 +1,258 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// testLengths covers the specialized paths (8, 16, 32), the 4-wide unrolled
+// body, the scalar tail, and the degenerate lengths.
+var testLengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 40}
+
+func randVec(n int, rng *rand.Rand) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func almostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestScale(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range testLengths {
+		src := randVec(n, rng)
+		dst := randVec(n, rng)
+		want := make([]float64, n)
+		for j := range want {
+			want[j] = 2.5 * src[j]
+		}
+		Scale(dst, src, 2.5)
+		if !almostEqual(dst, want, 0) {
+			t.Errorf("Scale n=%d: got %v want %v", n, dst, want)
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range testLengths {
+		a, b := randVec(n, rng), randVec(n, rng)
+		dst := randVec(n, rng)
+		want := make([]float64, n)
+		for j := range want {
+			want[j] = a[j] * b[j]
+		}
+		Mul(dst, a, b)
+		if !almostEqual(dst, want, 0) {
+			t.Errorf("Mul n=%d mismatch", n)
+		}
+		// Aliased: dst == a.
+		ac := append([]float64(nil), a...)
+		Mul(ac, ac, b)
+		if !almostEqual(ac, want, 0) {
+			t.Errorf("Mul aliased n=%d mismatch", n)
+		}
+	}
+}
+
+func TestMulInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range testLengths {
+		src := randVec(n, rng)
+		dst := randVec(n, rng)
+		want := make([]float64, n)
+		for j := range want {
+			want[j] = dst[j] * src[j]
+		}
+		MulInto(dst, src)
+		if !almostEqual(dst, want, 0) {
+			t.Errorf("MulInto n=%d mismatch", n)
+		}
+	}
+}
+
+func TestAddInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range testLengths {
+		src := randVec(n, rng)
+		dst := randVec(n, rng)
+		want := make([]float64, n)
+		for j := range want {
+			want[j] = dst[j] + src[j]
+		}
+		AddInto(dst, src)
+		if !almostEqual(dst, want, 0) {
+			t.Errorf("AddInto n=%d mismatch", n)
+		}
+	}
+}
+
+func TestFMAInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range testLengths {
+		a, b := randVec(n, rng), randVec(n, rng)
+		dst := randVec(n, rng)
+		want := make([]float64, n)
+		for j := range want {
+			want[j] = dst[j] + a[j]*b[j]
+		}
+		FMAInto(dst, a, b)
+		if !almostEqual(dst, want, 0) {
+			t.Errorf("FMAInto n=%d mismatch", n)
+		}
+	}
+}
+
+func TestAxpy(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range testLengths {
+		src := randVec(n, rng)
+		dst := randVec(n, rng)
+		want := make([]float64, n)
+		for j := range want {
+			want[j] = dst[j] + 1.75*src[j]
+		}
+		Axpy(dst, 1.75, src)
+		if !almostEqual(dst, want, 0) {
+			t.Errorf("Axpy n=%d mismatch", n)
+		}
+	}
+}
+
+func TestHadamardAccum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range testLengths {
+		for k := 0; k <= 5; k++ {
+			rows := make([][]float64, k)
+			for i := range rows {
+				rows[i] = randVec(n, rng)
+			}
+			dst := randVec(n, rng)
+			want := make([]float64, n)
+			for j := range want {
+				p := -0.5
+				for _, row := range rows {
+					p *= row[j]
+				}
+				want[j] = dst[j] + p
+			}
+			HadamardAccum(dst, -0.5, rows)
+			if !almostEqual(dst, want, 1e-15) {
+				t.Errorf("HadamardAccum n=%d k=%d mismatch", n, k)
+			}
+		}
+	}
+}
+
+func TestHadamardAccumVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range testLengths {
+		for k := 0; k <= 5; k++ {
+			base := randVec(n, rng)
+			rows := make([][]float64, k)
+			for i := range rows {
+				rows[i] = randVec(n, rng)
+			}
+			dst := randVec(n, rng)
+			want := make([]float64, n)
+			for j := range want {
+				p := base[j]
+				for _, row := range rows {
+					p *= row[j]
+				}
+				want[j] = dst[j] + p
+			}
+			HadamardAccumVec(dst, base, rows)
+			if !almostEqual(dst, want, 1e-15) {
+				t.Errorf("HadamardAccumVec n=%d k=%d mismatch", n, k)
+			}
+		}
+	}
+}
+
+func TestArena(t *testing.T) {
+	a := NewArena(3, 2)
+	if a.Workers() != 3 {
+		t.Fatalf("workers = %d", a.Workers())
+	}
+	a.EnsureRank(16)
+	if a.Rank() != 16 {
+		t.Fatalf("rank = %d", a.Rank())
+	}
+	// Distinct (worker, slot) buffers never overlap.
+	for w := 0; w < 3; w++ {
+		for s := 0; s < 2; s++ {
+			buf := a.Buf(w, s)
+			if len(buf) != 16 {
+				t.Fatalf("buf len %d", len(buf))
+			}
+			for j := range buf {
+				buf[j] = float64(w*100 + s*10)
+			}
+		}
+	}
+	for w := 0; w < 3; w++ {
+		for s := 0; s < 2; s++ {
+			for _, v := range a.Buf(w, s) {
+				if v != float64(w*100+s*10) {
+					t.Fatalf("worker %d slot %d clobbered: %v", w, s, v)
+				}
+			}
+		}
+	}
+	// Shrinking re-slices without reallocating; steady-state rank is free.
+	p := &a.data[0]
+	a.EnsureRank(8)
+	a.EnsureRank(16)
+	if &a.data[0] != p {
+		t.Error("EnsureRank reallocated within existing capacity")
+	}
+	if n := testing.AllocsPerRun(100, func() { a.EnsureRank(16) }); n != 0 {
+		t.Errorf("steady-state EnsureRank allocates %v/op", n)
+	}
+	// Growing reallocates to the larger size.
+	a.EnsureRank(64)
+	if len(a.Buf(2, 1)) != 64 {
+		t.Fatalf("post-grow buf len %d", len(a.Buf(2, 1)))
+	}
+}
+
+func TestArenaClampsDegenerateSizes(t *testing.T) {
+	a := NewArena(0, 0)
+	a.EnsureRank(4)
+	if len(a.Buf(0, 0)) != 4 {
+		t.Fatal("degenerate arena unusable")
+	}
+}
+
+// The primitives themselves must never allocate.
+func TestPrimitivesAllocFree(t *testing.T) {
+	dst := make([]float64, 17)
+	a := make([]float64, 17)
+	b := make([]float64, 17)
+	rows := [][]float64{a, b}
+	if n := testing.AllocsPerRun(100, func() {
+		Scale(dst, a, 2)
+		MulInto(dst, a)
+		AddInto(dst, a)
+		FMAInto(dst, a, b)
+		Axpy(dst, 2, a)
+		HadamardAccum(dst, 2, rows)
+		HadamardAccumVec(dst, a, rows)
+	}); n != 0 {
+		t.Errorf("primitives allocate %v/op", n)
+	}
+}

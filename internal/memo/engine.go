@@ -7,6 +7,7 @@ import (
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/kernel"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
@@ -29,6 +30,20 @@ type Engine struct {
 	leaves []*node
 
 	rank int // R of the cached value matrices; 0 until the first MTTKRP
+
+	// Per-worker factor-row scratch for the fused Hadamard-accumulate
+	// kernel, sized workers × maxDelta at construction so the numeric
+	// phase allocates nothing.
+	rowsBuf [][][]float64
+	// Call-scoped compute inputs plus a method value bound once at
+	// construction: every compute passes the same func value to the
+	// scheduler instead of a fresh closure, keeping steady state at zero
+	// allocations.
+	curNode     *node
+	curDst      *dense.Matrix
+	curScatter  []tensor.Index
+	curFromRoot bool
+	body        func(worker, lo, hi int)
 
 	ops        atomic.Int64
 	idxBytes   int64
@@ -67,9 +82,22 @@ func NewWithConfig(x *tensor.COO, strat *Strategy, cfg Config) (*Engine, error) 
 	start := time.Now()
 	e.root, e.all, e.leaves = buildTree(x, strat, cfg.Workers)
 	e.symbolicNS = time.Since(start).Nanoseconds()
+	maxDelta := 0
 	for _, t := range e.all {
 		e.idxBytes += t.indexBytes()
+		if len(t.delta) > maxDelta {
+			maxDelta = len(t.delta)
+		}
 	}
+	w := cfg.Workers
+	if w <= 0 {
+		w = par.MaxWorkers()
+	}
+	e.rowsBuf = make([][][]float64, w)
+	for i := range e.rowsBuf {
+		e.rowsBuf[i] = make([][]float64, maxDelta)
+	}
+	e.body = e.runChunk
 	return e, nil
 }
 
@@ -123,9 +151,10 @@ func (e *Engine) alloc(t *node, r int) {
 	need := t.nelem * r
 	if e.retain {
 		if cap(t.buf) >= need {
-			// Reuse the retained storage: no allocation, bytes already
-			// counted.
-			t.vals = &dense.Matrix{Rows: t.nelem, Cols: r, Data: t.buf[:need]}
+			// Reuse the retained storage through the node's own matrix
+			// header: no allocation, bytes already counted.
+			t.mat = dense.Matrix{Rows: t.nelem, Cols: r, Data: t.buf[:need]}
+			t.vals = &t.mat
 			return
 		}
 		// Replacing retained storage (rank grew): swap the accounting.
@@ -152,16 +181,13 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 		e.rank = r
 	}
 	leaf := e.leaves[mode]
-	e.ensure(leaf, factors, r)
-	// Scatter the leaf's value rows into the (possibly larger) output; mode
-	// indices absent from the tensor keep zero rows.
+	e.ensure(leaf.parent, factors, r)
+	// The leaf contraction is fused with the output scatter: each leaf
+	// element's row is accumulated straight into the output row of its mode
+	// index instead of being materialized and then copied. Mode indices
+	// absent from the tensor keep zero rows.
 	out.Zero()
-	ind := leaf.inds[0]
-	par.ForRange(leaf.nelem, e.workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			copy(out.Row(int(ind[i])), leaf.vals.Row(i))
-		}
-	})
+	e.compute(leaf, factors, r, out, leaf.inds[0])
 }
 
 // ensure materializes t.vals (recursively materializing ancestors first).
@@ -172,57 +198,64 @@ func (e *Engine) ensure(t *node, factors []*dense.Matrix, r int) {
 	p := t.parent
 	e.ensure(p, factors, r)
 	e.alloc(t, r)
-	e.compute(t, factors, r)
+	e.compute(t, factors, r, t.vals, nil)
 }
 
 // compute evaluates the contraction of the parent's semi-sparse tensor with
-// the delta-mode factor rows, reduced into t's elements. The loop is the
-// paper's TTM-through-Hadamard kernel: for each parent element, load its
-// R-row (or broadcast the scalar nonzero value when the parent is the
-// root), multiply element-wise by one factor row per removed mode, and
-// accumulate into the owning child element. Parallel over child elements,
-// so no synchronization is needed.
-func (e *Engine) compute(t *node, factors []*dense.Matrix, r int) {
+// the delta-mode factor rows, reduced into t's elements. The inner loop is
+// the paper's TTM-through-Hadamard kernel, run through the shared fused
+// primitives: for each parent element, its R-row (or the broadcast scalar
+// nonzero value when the parent is the root) is multiplied by one factor
+// row per removed mode and accumulated into the owning destination row in
+// a single pass, with no temporary R-vector. When scatter is nil, element
+// i's row is dst.Row(i) (materializing t.vals); otherwise it is
+// dst.Row(scatter[i]) (the fused leaf-to-output scatter). Elements are
+// scheduled in reduction-weighted chunks; distinct elements own distinct
+// destination rows, so no synchronization is needed.
+func (e *Engine) compute(t *node, factors []*dense.Matrix, r int, dst *dense.Matrix, scatter []tensor.Index) {
 	p := t.parent
-	fromRoot := p.parent == nil
-	// Factor rows are looked up through the parent's index arrays.
-	deltaInds := make([][]tensor.Index, len(t.delta))
-	deltaFac := make([]*dense.Matrix, len(t.delta))
 	for k, d := range t.delta {
-		deltaInds[k] = p.inds[d-p.lo]
-		deltaFac[k] = factors[d]
+		t.facBuf[k] = factors[d]
 	}
+	e.curNode, e.curDst, e.curScatter, e.curFromRoot = t, dst, scatter, p.parent == nil
+	par.ForChunks(t.chunks, e.workers, e.body)
+	e.curNode, e.curDst, e.curScatter = nil, nil, nil
+	e.ops.Add(int64(p.nelem) * int64(len(t.delta)+1) * int64(r))
+}
+
+// runChunk processes one scheduled chunk of the current compute's child
+// elements on the given worker.
+func (e *Engine) runChunk(worker, lo, hi int) {
+	t := e.curNode
+	p := t.parent
+	dst, scatter, fromRoot := e.curDst, e.curScatter, e.curFromRoot
 	vals := e.x.Vals
-	par.ForBlocks(t.nelem, 256, e.workers, func(lo, hi int) {
-		tmp := make([]float64, r)
-		for i := lo; i < hi; i++ {
-			out := t.vals.Row(i)
-			for j := range out {
-				out[j] = 0
+	rows := e.rowsBuf[worker]
+	k := len(t.delta)
+	for i := lo; i < hi; i++ {
+		var out []float64
+		if scatter == nil {
+			out = dst.Row(i)
+		} else {
+			out = dst.Row(int(scatter[i]))
+		}
+		for j := range out {
+			out[j] = 0
+		}
+		for ei := t.redPtr[i]; ei < t.redPtr[i+1]; ei++ {
+			pe := int(t.redElems[ei])
+			for kk := 0; kk < k; kk++ {
+				rows[kk] = t.facBuf[kk].Row(int(t.deltaIdx[kk][pe]))
 			}
-			for ei := t.redPtr[i]; ei < t.redPtr[i+1]; ei++ {
-				pe := int(t.redElems[ei])
-				if fromRoot {
-					v := vals[pe]
-					for j := range tmp {
-						tmp[j] = v
-					}
-				} else {
-					copy(tmp, p.vals.Row(pe))
-				}
-				for k := range deltaFac {
-					f := deltaFac[k].Row(int(deltaInds[k][pe]))
-					for j := range tmp {
-						tmp[j] *= f[j]
-					}
-				}
-				for j := range out {
-					out[j] += tmp[j]
-				}
+			if fromRoot {
+				// Single-pass v · Πf accumulate; with a single removed
+				// mode this is a bare out[j] += v·f[j] (no broadcast).
+				kernel.HadamardAccum(out, vals[pe], rows[:k])
+			} else {
+				kernel.HadamardAccumVec(out, p.vals.Row(pe), rows[:k])
 			}
 		}
-	})
-	e.ops.Add(int64(p.nelem) * int64(len(t.delta)+1) * int64(r))
+	}
 }
 
 // NodeElemCounts returns, for every node in pre-order, its mode range and

@@ -30,11 +30,27 @@ type node struct {
 	redElems []int32
 
 	// vals is the nelem × R semi-sparse value matrix; nil when invalidated.
+	// Leaf nodes never materialize vals: their contraction is fused with
+	// the MTTKRP output scatter.
 	vals *dense.Matrix
 	// buf optionally retains the value storage across invalidations (the
 	// engine's RetainBuffers mode), avoiding one allocation per node per
 	// ALS iteration.
 	buf []float64
+	// mat is the reusable matrix header wrapped around buf in retain mode,
+	// so re-materializing a node allocates nothing.
+	mat dense.Matrix
+
+	// Kernel-layer state resolved once at build time so the numeric phase
+	// performs no per-call setup allocation: deltaIdx[k] is the parent's
+	// index array for mode delta[k], facBuf is the per-call factor-matrix
+	// scratch (filled at the top of each compute), and chunks holds the
+	// equal-weight chunk boundaries over this node's elements (weighted by
+	// reduction-group size via the redPtr prefix sums — the load-balanced
+	// schedule for skewed reductions).
+	deltaIdx [][]tensor.Index
+	facBuf   []*dense.Matrix
+	chunks   []int
 }
 
 // buildTree materializes the symbolic structure for every strategy node,
@@ -44,6 +60,10 @@ type node struct {
 // order, and the leaf for each mode.
 func buildTree(x *tensor.COO, strat *Strategy, workers int) (root *node, all []*node, leaves []*node) {
 	n := x.Order()
+	w := workers
+	if w <= 0 {
+		w = par.MaxWorkers()
+	}
 	leaves = make([]*node, n)
 	root = &node{lo: 0, hi: n, nelem: x.NNZ(), inds: x.Inds}
 	all = append(all, root)
@@ -78,10 +98,26 @@ func buildTree(x *tensor.COO, strat *Strategy, workers int) (root *node, all []*
 		}
 		par.For(len(nodes), workers, func(i int) {
 			buildSymbolic(nodes[i], x.Dims)
+			finalizeNode(nodes[i], w)
 		})
 		level = next
 	}
 	return root, all, leaves
+}
+
+// finalizeNode resolves the kernel-layer state of a freshly built node: the
+// delta-mode index arrays (stable for the life of the engine — parent inds
+// are built once and never reallocated), the factor scratch, and the
+// nnz-weighted chunk boundaries used by the load-balanced scheduler
+// (workers × 8 chunks of roughly equal reduction weight).
+func finalizeNode(c *node, workers int) {
+	p := c.parent
+	c.deltaIdx = make([][]tensor.Index, len(c.delta))
+	for k, d := range c.delta {
+		c.deltaIdx[k] = p.inds[d-p.lo]
+	}
+	c.facBuf = make([]*dense.Matrix, len(c.delta))
+	c.chunks = par.WeightedBounds(c.redPtr, workers*8)
 }
 
 // buildSymbolic computes the symbolic projection of c's parent onto

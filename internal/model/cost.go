@@ -19,7 +19,9 @@ type Prediction struct {
 	// PeakValueBytes is the predicted maximum simultaneously live
 	// semi-sparse value storage: the union of the value matrices on the
 	// paths to two consecutive leaves (the live set while the ALS sweep
-	// advances from one mode to the next), maximized over the sweep.
+	// advances from one mode to the next), maximized over the sweep. Leaf
+	// nodes are excluded — the engine fuses their contraction with the
+	// output scatter and never materializes them.
 	PeakValueBytes int64
 }
 
@@ -44,7 +46,9 @@ func Predict(est *Estimator, s *memo.Strategy, rank int) Prediction {
 			delta := int64(node.Span() - c.Span())
 			p.Ops += parentElems * (delta + 1) * int64(rank)
 			p.IndexBytes += ce*int64(c.Span())*4 + parentElems*4 + (ce+1)*8
-			lives = append(lives, liveNode{c.Lo, c.Hi, ce * int64(rank) * 8})
+			if !c.IsLeaf() {
+				lives = append(lives, liveNode{c.Lo, c.Hi, ce * int64(rank) * 8})
+			}
 			walk(c, ce)
 		}
 	}

@@ -11,6 +11,7 @@ package par
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -144,6 +145,84 @@ func ForBlocks(n, blockSize, workers int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// WeightedBounds splits the n items described by a prefix-sum array
+// (len n+1, prefix[i] = total weight of items [0, i)) into at most nchunks
+// contiguous ranges of roughly equal weight. The returned boundary array b
+// has b[0] = 0 and b[len(b)-1] = n; chunk c spans [b[c], b[c+1]) and may be
+// empty when a single item outweighs a whole chunk share.
+//
+// This is the load-balancing primitive of the kernel layer: fiber- and
+// reduction-grouped kernels have wildly skewed per-element cost, so the
+// schedulers chunk by nonzero weight (typically workers × 8 chunks) instead
+// of by element count.
+func WeightedBounds(prefix []int64, nchunks int) []int {
+	n := len(prefix) - 1
+	if n <= 0 {
+		return []int{0}
+	}
+	if nchunks > n {
+		nchunks = n
+	}
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	total := prefix[n]
+	bounds := make([]int, nchunks+1)
+	bounds[nchunks] = n
+	for c := 1; c < nchunks; c++ {
+		target := total / int64(nchunks) * int64(c)
+		// First boundary position whose prefix weight reaches the target,
+		// clamped to keep the boundaries monotone.
+		i := sort.Search(n, func(i int) bool { return prefix[i] >= target })
+		if i < bounds[c-1] {
+			i = bounds[c-1]
+		}
+		bounds[c] = i
+	}
+	return bounds
+}
+
+// ForChunks runs body over precomputed chunk boundaries (the WeightedBounds
+// format) with a dynamic schedule: workers pull the next chunk off a shared
+// channel, and body receives the worker id so kernels can index into
+// preallocated per-worker scratch (e.g. a kernel.Arena). Empty chunks are
+// skipped. With one worker the chunks run inline on the calling goroutine,
+// so the call performs no allocation — the property the steady-state
+// MTTKRP regression tests pin down.
+func ForChunks(bounds []int, workers int, body func(worker, lo, hi int)) {
+	nchunks := len(bounds) - 1
+	if nchunks <= 0 {
+		return
+	}
+	workers = clampWorkers(workers, nchunks)
+	if workers == 1 {
+		for c := 0; c < nchunks; c++ {
+			if bounds[c] < bounds[c+1] {
+				body(0, bounds[c], bounds[c+1])
+			}
+		}
+		return
+	}
+	chunks := make(chan int, nchunks)
+	for c := 0; c < nchunks; c++ {
+		chunks <- c
+	}
+	close(chunks)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for c := range chunks {
+				if bounds[c] < bounds[c+1] {
+					body(w, bounds[c], bounds[c+1])
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // Stripes is a fixed pool of mutexes used to protect scatter updates into a
 // large row-indexed array without one lock per row. Rows hash to stripes by
 // low bits, so the stripe count must be a power of two.
@@ -160,6 +239,22 @@ func NewStripes(n int) *Stripes {
 		size <<= 1
 	}
 	return &Stripes{locks: make([]sync.Mutex, size), mask: uint32(size - 1)}
+}
+
+// maxStripes caps StripesFor: past a few thousand stripes the collision
+// probability is negligible and the mutex pool only wastes cache.
+const maxStripes = 8192
+
+// StripesFor sizes a stripe set for scatter updates into rows output rows:
+// the next power of two at or above rows, capped at 8192 and never below 1.
+// Sizing from the actual output height (instead of a fixed pool) keeps the
+// collision rate flat as tensors grow while bounding the lock footprint.
+func StripesFor(rows int) *Stripes {
+	n := rows
+	if n > maxStripes {
+		n = maxStripes
+	}
+	return NewStripes(n)
 }
 
 // Lock acquires the stripe owning row i.

@@ -114,6 +114,145 @@ func TestStripesPowerOfTwo(t *testing.T) {
 	}
 }
 
+// Edge cases the engines rely on: n smaller than one block, n = 0, and more
+// workers than elements must all cover [0, n) exactly once with no empty
+// callbacks hanging around.
+func TestForBlocksEdgeCases(t *testing.T) {
+	// n < blockSize: a single block spanning everything.
+	var blocks [][2]int
+	var mu sync.Mutex
+	ForBlocks(10, 256, 4, func(lo, hi int) {
+		mu.Lock()
+		blocks = append(blocks, [2]int{lo, hi})
+		mu.Unlock()
+	})
+	if len(blocks) != 1 || blocks[0] != [2]int{0, 10} {
+		t.Fatalf("n<blockSize: blocks = %v, want [[0 10]]", blocks)
+	}
+	// workers > n: every index still visited exactly once.
+	covered := make([]atomic.Int32, 3)
+	ForBlocks(3, 1, 100, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("workers>n: index %d covered %d times", i, covered[i].Load())
+		}
+	}
+}
+
+func TestForRangeAndWorkerEdgeCases(t *testing.T) {
+	called := false
+	ForRange(0, 4, func(lo, hi int) { called = true })
+	ForWorker(0, 4, func(w, lo, hi int) { called = true })
+	if called {
+		t.Fatal("body called for n = 0")
+	}
+	// workers > n: at most n non-empty blocks, each of width 1.
+	var count atomic.Int64
+	ForWorker(3, 50, func(w, lo, hi int) {
+		if hi-lo != 1 {
+			t.Errorf("workers>n: block [%d,%d) not width 1", lo, hi)
+		}
+		count.Add(1)
+	})
+	if count.Load() != 3 {
+		t.Fatalf("workers>n: %d blocks, want 3", count.Load())
+	}
+}
+
+func TestWeightedBounds(t *testing.T) {
+	// Uniform weights: bounds are (near-)even splits.
+	prefix := make([]int64, 101)
+	for i := range prefix {
+		prefix[i] = int64(i)
+	}
+	b := WeightedBounds(prefix, 4)
+	if len(b) != 5 || b[0] != 0 || b[4] != 100 {
+		t.Fatalf("uniform bounds = %v", b)
+	}
+	for c := 0; c < 4; c++ {
+		if w := b[c+1] - b[c]; w < 20 || w > 30 {
+			t.Errorf("uniform chunk %d width %d", c, w)
+		}
+	}
+	// Skewed weights: one heavy element gets its own chunk; total weight per
+	// chunk stays within 2x the ideal share for the rest.
+	skew := []int64{0, 1, 2, 3, 1003, 1004, 1005, 1006, 1007} // element 3 weighs 1000
+	b = WeightedBounds(skew, 4)
+	if b[0] != 0 || b[len(b)-1] != 8 {
+		t.Fatalf("skewed bounds = %v", b)
+	}
+	for c := 0; c < len(b)-1; c++ {
+		if b[c] > b[c+1] {
+			t.Fatalf("non-monotone bounds %v", b)
+		}
+	}
+	// Degenerate shapes.
+	if b := WeightedBounds([]int64{0}, 4); len(b) != 1 || b[0] != 0 {
+		t.Errorf("empty bounds = %v", b)
+	}
+	if b := WeightedBounds([]int64{0, 0, 0}, 8); b[0] != 0 || b[len(b)-1] != 2 {
+		t.Errorf("zero-weight bounds = %v", b)
+	}
+	// More chunks than elements: clamped to n.
+	if b := WeightedBounds([]int64{0, 5, 9}, 100); len(b) != 3 || b[2] != 2 {
+		t.Errorf("overchunked bounds = %v", b)
+	}
+}
+
+func TestForChunksCoversAndSkipsEmpty(t *testing.T) {
+	prefix := []int64{0, 10, 10, 10, 40, 45, 50, 100, 100, 120}
+	n := len(prefix) - 1
+	for _, workers := range []int{1, 3, 16} {
+		bounds := WeightedBounds(prefix, workers*8)
+		covered := make([]atomic.Int32, n)
+		ForChunks(bounds, workers, func(w, lo, hi int) {
+			if lo >= hi {
+				t.Errorf("empty chunk [%d,%d) dispatched", lo, hi)
+			}
+			for i := lo; i < hi; i++ {
+				covered[i].Add(1)
+			}
+		})
+		for i := range covered {
+			if covered[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d covered %d times", workers, i, covered[i].Load())
+			}
+		}
+	}
+	// Empty bounds: no calls, no hang.
+	ForChunks([]int{0}, 4, func(w, lo, hi int) { t.Error("called on empty bounds") })
+	ForChunks(nil, 4, func(w, lo, hi int) { t.Error("called on nil bounds") })
+}
+
+func TestForChunksSingleWorkerAllocFree(t *testing.T) {
+	prefix := make([]int64, 1001)
+	for i := range prefix {
+		prefix[i] = int64(i * 3)
+	}
+	bounds := WeightedBounds(prefix, 8)
+	var sink atomic.Int64
+	body := func(w, lo, hi int) { sink.Store(int64(hi)) }
+	if n := testing.AllocsPerRun(50, func() {
+		ForChunks(bounds, 1, body)
+	}); n != 0 {
+		t.Errorf("single-worker ForChunks allocates %v/op", n)
+	}
+}
+
+func TestStripesFor(t *testing.T) {
+	for _, tc := range []struct{ rows, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {1000, 1024}, {8192, 8192}, {100000, 8192},
+	} {
+		if got := StripesFor(tc.rows).Len(); got != tc.want {
+			t.Errorf("StripesFor(%d) = %d stripes, want %d", tc.rows, got, tc.want)
+		}
+	}
+}
+
 // Property: the sum computed by a parallel reduction equals the sequential
 // sum for any n and worker count.
 func TestParallelSumProperty(t *testing.T) {

@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI entry point: the gate every change must pass. Kept to the tier-1
+# targets so a full run stays fast enough for pre-merge use.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+make build
+make vet
+make test
+make test-race
