@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-kernels ci fuzz experiments experiments-quick examples clean
+.PHONY: all build vet test test-race bench bench-smoke bench-kernels ci fuzz experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -20,6 +20,11 @@ test-race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: catches bitrotted benchmark code in CI
+# without paying for real measurements.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
 # Machine-readable microbenchmarks of the shared kernel layer.
 bench-kernels:

@@ -18,6 +18,7 @@
 package adatm
 
 import (
+	"context"
 	"fmt"
 
 	"adatm/internal/coo"
@@ -60,6 +61,26 @@ type (
 	APROptions = cpd.APROptions
 	// APRResult is a fitted Poisson CP model.
 	APRResult = cpd.APRResult
+	// RunStats is the per-phase breakdown attached to a Result when
+	// Options.CollectStats is set.
+	RunStats = cpd.RunStats
+	// PhaseStats accumulates one phase's time/count/ops over a run.
+	PhaseStats = cpd.PhaseStats
+	// Phase identifies one stage of the CP-ALS loop.
+	Phase = cpd.Phase
+	// IterStats is the per-iteration snapshot handed to Options.Progress.
+	IterStats = cpd.IterStats
+)
+
+// Re-exported phase identifiers for reading RunStats.Phases.
+const (
+	PhaseSymbolic  = cpd.PhaseSymbolic
+	PhaseMTTKRP    = cpd.PhaseMTTKRP
+	PhaseGram      = cpd.PhaseGram
+	PhaseSolve     = cpd.PhaseSolve
+	PhaseNormalize = cpd.PhaseNormalize
+	PhaseFit       = cpd.PhaseFit
+	NumPhases      = cpd.NumPhases
 )
 
 // DecomposeAPR fits a Poisson CP model (CP-APR with multiplicative updates)
@@ -160,6 +181,14 @@ type Options struct {
 	// modes; nil = natural). Mode-permuted engines require it to match
 	// their sweep order.
 	ModeOrder []int
+	// Ctx, when non-nil, cancels the run between mode sub-iterations; the
+	// partial Result is returned with ctx's error.
+	Ctx context.Context
+	// Progress is invoked after every completed iteration; returning false
+	// stops the run early with a valid Result.
+	Progress func(IterStats) bool
+	// CollectStats attaches a per-phase RunStats breakdown to the Result.
+	CollectStats bool
 }
 
 // Decompose computes a rank-R CP decomposition of x.
@@ -179,16 +208,19 @@ func Decompose(x *Tensor, opt Options) (*Result, error) {
 // strategies or instrumentation).
 func DecomposeWith(x *Tensor, eng Engine, opt Options) (*Result, error) {
 	return cpd.Run(x, eng, cpd.Options{
-		Rank:        opt.Rank,
-		MaxIters:    opt.MaxIters,
-		Tol:         opt.Tol,
-		Seed:        opt.Seed,
-		Workers:     opt.Workers,
-		Init:        opt.Init,
-		TrackFit:    opt.TrackFit,
-		Ridge:       opt.Ridge,
-		NonNegative: opt.NonNegative,
-		ModeOrder:   opt.ModeOrder,
+		Rank:         opt.Rank,
+		MaxIters:     opt.MaxIters,
+		Tol:          opt.Tol,
+		Seed:         opt.Seed,
+		Workers:      opt.Workers,
+		Init:         opt.Init,
+		TrackFit:     opt.TrackFit,
+		Ridge:        opt.Ridge,
+		NonNegative:  opt.NonNegative,
+		ModeOrder:    opt.ModeOrder,
+		Ctx:          opt.Ctx,
+		Progress:     opt.Progress,
+		CollectStats: opt.CollectStats,
 	})
 }
 
@@ -209,8 +241,17 @@ type EngineConfig struct {
 	RetainBuffers bool
 }
 
-// NewEngine constructs the MTTKRP kernel of the given kind for x.
+// NewEngine constructs the MTTKRP kernel of the given kind for x. The
+// tensor is validated first: every engine's builder indexes by the declared
+// dims, so a malformed tensor must be rejected here rather than panic
+// deep inside a kernel.
 func NewEngine(x *Tensor, kind EngineKind, cfg EngineConfig) (Engine, error) {
+	if x == nil {
+		return nil, fmt.Errorf("adatm: nil tensor")
+	}
+	if err := x.Validate(); err != nil {
+		return nil, fmt.Errorf("adatm: %w", err)
+	}
 	n := x.Order()
 	switch kind {
 	case EngineCOO:
@@ -279,13 +320,17 @@ func DecomposePermuted(x *Tensor, opt Options) (*Result, error) {
 }
 
 // Load reads a tensor from a FROSTT .tns or .tns.gz file, merging duplicate
-// coordinates.
+// coordinates and validating the result: a tensor returned by Load is
+// structurally sound (consistent arities, in-range indices, finite values).
 func Load(path string) (*Tensor, error) {
 	x, err := tensor.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	x.Dedup()
+	if err := x.Validate(); err != nil {
+		return nil, fmt.Errorf("adatm: %s: %w", path, err)
+	}
 	return x, nil
 }
 

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -25,11 +27,45 @@ func main() {
 		quick    = flag.Bool("quick", false, "run on ~8x smaller datasets")
 		expList  = flag.String("exp", "", "comma-separated experiment ids (default: all); known: "+strings.Join(exp.IDs(), ","))
 		markdown = flag.Bool("markdown", false, "render tables as markdown")
+		jsonOut  = flag.Bool("json", false, "render tables as JSON records")
+		pprofOut = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
+		traceOut = flag.String("trace", "", "write a runtime execution trace of the whole run to this file")
 		rank     = flag.Int("rank", 16, "CP rank for non-sweeping experiments")
 		workers  = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", 0, "dataset seed offset")
 	)
 	flag.Parse()
+
+	if *pprofOut != "" {
+		f, err := os.Create(*pprofOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adabench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "adabench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adabench:", err)
+			os.Exit(1)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "adabench:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			trace.Stop()
+			f.Close()
+		}()
+	}
 
 	cfg := exp.Config{Quick: *quick, Workers: *workers, Rank: *rank, Seed: *seed}
 	runners := exp.Registry()
@@ -47,9 +83,15 @@ func main() {
 	for _, r := range runners {
 		start := time.Now()
 		table := r.Run(cfg)
-		if *markdown {
+		switch {
+		case *jsonOut:
+			if err := table.JSON(os.Stdout); err != nil {
+				fmt.Fprintln(os.Stderr, "adabench:", err)
+				os.Exit(1)
+			}
+		case *markdown:
 			table.Markdown(os.Stdout)
-		} else {
+		default:
 			table.Render(os.Stdout)
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))

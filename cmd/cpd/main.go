@@ -11,33 +11,43 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
+	"time"
 
 	"adatm"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input tensor (.tns or .tns.gz), required")
-		rank     = flag.Int("rank", 16, "decomposition rank")
-		iters    = flag.Int("iters", 50, "maximum ALS iterations")
-		tol      = flag.Float64("tol", 1e-5, "fit-change convergence tolerance")
-		seed     = flag.Int64("seed", 1, "factor initialization seed")
-		workers  = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
-		engName  = flag.String("engine", "adaptive", "engine: coo, csf, csf-one, hicoo, memo-flat, memo-2group, memo-balanced, adaptive")
-		budget   = flag.String("budget", "", "memory budget for the adaptive engine, e.g. 512MiB, 2GiB")
-		outPfx   = flag.String("out", "", "write factor matrices to <out>_mode<k>.txt and lambda to <out>_lambda.txt")
-		plan     = flag.Bool("plan", false, "print the model-driven plan and exit")
-		trace    = flag.Bool("trace", false, "print the fit after every iteration")
-		ridge    = flag.Float64("ridge", 0, "Tikhonov regularization weight")
-		nonneg   = flag.Bool("nonneg", false, "constrain factors to be non-negative")
-		complete = flag.Bool("complete", false, "masked completion: fit observed entries only (ratings semantics)")
-		apr      = flag.Bool("apr", false, "Poisson CP (CP-APR): maximize Poisson likelihood for count data")
-		model    = flag.String("model", "", "write the fitted model (lambda + factors) to this JSON file")
+		in        = flag.String("in", "", "input tensor (.tns or .tns.gz), required")
+		rank      = flag.Int("rank", 16, "decomposition rank")
+		iters     = flag.Int("iters", 50, "maximum ALS iterations")
+		tol       = flag.Float64("tol", 1e-5, "fit-change convergence tolerance")
+		seed      = flag.Int64("seed", 1, "factor initialization seed")
+		workers   = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
+		engName   = flag.String("engine", "adaptive", "engine: coo, csf, csf-one, hicoo, memo-flat, memo-2group, memo-balanced, adaptive")
+		budget    = flag.String("budget", "", "memory budget for the adaptive engine, e.g. 512MiB, 2GiB")
+		outPfx    = flag.String("out", "", "write factor matrices to <out>_mode<k>.txt and lambda to <out>_lambda.txt")
+		plan      = flag.Bool("plan", false, "print the model-driven plan and exit")
+		fittrace  = flag.Bool("fittrace", false, "print the fit after every iteration")
+		jsonOut   = flag.Bool("json", false, "emit a JSON run report (with per-phase breakdown) to stdout")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
+		traceOut  = flag.String("trace", "", "write a runtime execution trace to this file")
+		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+		progress  = flag.Bool("progress", false, "print per-iteration progress to stderr")
+		ridge     = flag.Float64("ridge", 0, "Tikhonov regularization weight")
+		nonneg    = flag.Bool("nonneg", false, "constrain factors to be non-negative")
+		complete  = flag.Bool("complete", false, "masked completion: fit observed entries only (ratings semantics)")
+		apr       = flag.Bool("apr", false, "Poisson CP (CP-APR): maximize Poisson likelihood for count data")
+		modelPath = flag.String("model", "", "write the fitted model (lambda + factors) to this JSON file")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -49,6 +59,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	stopProf, err := startProfiling(*pprofOut, *traceOut)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	x, err := adatm.Load(*in)
 	if err != nil {
 		fatal(err)
@@ -62,12 +77,12 @@ func main() {
 
 	if *apr {
 		res, err := adatm.DecomposeAPR(x, adatm.APROptions{
-			Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers, TrackLL: *trace,
+			Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers, TrackLL: *fittrace,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		if *trace {
+		if *fittrace {
 			for i, ll := range res.LLTrace {
 				fmt.Printf("iter %3d  logLik %.4f\n", i+1, ll)
 			}
@@ -88,12 +103,12 @@ func main() {
 	if *complete {
 		res, err := adatm.Complete(x, adatm.CompleteOptions{
 			Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers,
-			Ridge: *ridge, TrackRMSE: *trace,
+			Ridge: *ridge, TrackRMSE: *fittrace,
 		})
 		if err != nil {
 			fatal(err)
 		}
-		if *trace {
+		if *fittrace {
 			for i, r := range res.RMSETrace {
 				fmt.Printf("iter %3d  observed RMSE %.8f\n", i+1, r)
 			}
@@ -110,29 +125,53 @@ func main() {
 		return
 	}
 
-	res, err := adatm.Decompose(x, adatm.Options{
+	opt := adatm.Options{
 		Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers,
-		Engine: adatm.EngineKind(*engName), MemoryBudget: budgetBytes, TrackFit: *trace,
+		Engine: adatm.EngineKind(*engName), MemoryBudget: budgetBytes, TrackFit: *fittrace,
 		Ridge: *ridge, NonNegative: *nonneg,
-	})
-	if err != nil {
-		fatal(err)
+		CollectStats: *jsonOut,
 	}
-	if *trace {
-		for i, f := range res.FitTrace {
-			fmt.Printf("iter %3d  fit %.8f\n", i+1, f)
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		opt.Ctx = ctx
+	}
+	if *progress {
+		opt.Progress = func(s adatm.IterStats) bool {
+			fmt.Fprintf(os.Stderr, "iter %3d  fit %.8f  Δ %.3g  elapsed %v\n",
+				s.Iter, s.Fit, s.FitDelta, s.Elapsed.Round(time.Millisecond))
+			return true
 		}
 	}
-	fmt.Printf("engine=%s rank=%d iters=%d converged=%v fit=%.6f\n", *engName, *rank, res.Iters, res.Converged, res.Fit)
-	fmt.Printf("total=%v mttkrp=%v (%.0f%%)\n", res.TotalTime.Round(1e6), res.MTTKRPTime.Round(1e6),
-		100*float64(res.MTTKRPTime)/float64(res.TotalTime))
-	fmt.Printf("lambda=%v\n", res.Lambda)
-
-	if *model != "" {
-		if err := adatm.SaveModel(*model, res); err != nil {
+	res, err := adatm.Decompose(x, opt)
+	if err != nil {
+		if res != nil && res.Stopped {
+			fmt.Fprintf(os.Stderr, "cpd: stopped early: %v\n", err)
+		} else {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "wrote model to %s\n", *model)
+	}
+	if *jsonOut {
+		if err := writeReport(os.Stdout, *engName, *rank, res); err != nil {
+			fatal(err)
+		}
+	} else {
+		if *fittrace {
+			for i, f := range res.FitTrace {
+				fmt.Printf("iter %3d  fit %.8f\n", i+1, f)
+			}
+		}
+		fmt.Printf("engine=%s rank=%d iters=%d converged=%v fit=%.6f\n", *engName, *rank, res.Iters, res.Converged, res.Fit)
+		fmt.Printf("total=%v mttkrp=%v (%.0f%%)\n", res.TotalTime.Round(1e6), res.MTTKRPTime.Round(1e6),
+			100*float64(res.MTTKRPTime)/float64(res.TotalTime))
+		fmt.Printf("lambda=%v\n", res.Lambda)
+	}
+
+	if *modelPath != "" {
+		if err := adatm.SaveModel(*modelPath, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote model to %s\n", *modelPath)
 	}
 	if *outPfx != "" {
 		if err := writeVector(*outPfx+"_lambda.txt", res.Lambda); err != nil {
@@ -151,6 +190,95 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cpd:", err)
 	os.Exit(1)
+}
+
+// startProfiling starts the optional CPU profile and runtime trace; the
+// returned stop function flushes and closes both (idempotent, safe when
+// neither was requested).
+func startProfiling(pprofPath, tracePath string) (func(), error) {
+	var stops []func()
+	if pprofPath != "" {
+		f, err := os.Create(pprofPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			for _, s := range stops {
+				s()
+			}
+			return nil, err
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			for _, s := range stops {
+				s()
+			}
+			return nil, err
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		for _, s := range stops {
+			s()
+		}
+	}, nil
+}
+
+// runReport is the -json output schema.
+type runReport struct {
+	Engine     string          `json:"engine"`
+	Rank       int             `json:"rank"`
+	Iters      int             `json:"iters"`
+	Converged  bool            `json:"converged"`
+	Stopped    bool            `json:"stopped"`
+	Fit        float64         `json:"fit"`
+	TotalNS    int64           `json:"total_ns"`
+	MTTKRPNS   int64           `json:"mttkrp_ns"`
+	Lambda     []float64       `json:"lambda"`
+	FitTrace   []float64       `json:"fit_trace,omitempty"`
+	Stats      *adatm.RunStats `json:"stats,omitempty"`
+	PhaseSumNS int64           `json:"phase_sum_ns,omitempty"`
+}
+
+func writeReport(w *os.File, engName string, rank int, res *adatm.Result) error {
+	rep := runReport{
+		Engine:    engName,
+		Rank:      rank,
+		Iters:     res.Iters,
+		Converged: res.Converged,
+		Stopped:   res.Stopped,
+		Fit:       res.Fit,
+		TotalNS:   res.TotalTime.Nanoseconds(),
+		MTTKRPNS:  res.MTTKRPTime.Nanoseconds(),
+		Lambda:    res.Lambda,
+		FitTrace:  res.FitTrace,
+		Stats:     res.Stats,
+	}
+	if res.Stats != nil {
+		rep.PhaseSumNS = res.Stats.PhaseTimeSum().Nanoseconds()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // parseBytes parses "512MiB"/"2GiB"/"1048576" into a byte count.

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adatm"
+)
+
+// The -json report must carry the per-phase breakdown, and the iteration
+// phases must account for TotalTime to within 5%.
+func TestWriteReportPhaseSum(t *testing.T) {
+	x := adatm.Generate(adatm.GenSpec{Dims: []int{50, 50, 50}, NNZ: 20000, Seed: 3})
+	res, err := adatm.Decompose(x, adatm.Options{
+		Rank: 8, MaxIters: 10, Tol: 1e-15, Seed: 1, Workers: 1,
+		Engine: adatm.EngineCOO, CollectStats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeReport(f, "coo", 8, res); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Engine     string  `json:"engine"`
+		Iters      int     `json:"iters"`
+		Fit        float64 `json:"fit"`
+		TotalNS    int64   `json:"total_ns"`
+		PhaseSumNS int64   `json:"phase_sum_ns"`
+		Stats      struct {
+			Phases map[string]struct {
+				TimeNS int64 `json:"time_ns"`
+				Count  int64 `json:"count"`
+				Ops    int64 `json:"ops"`
+			} `json:"phases"`
+			ModeMTTKRP []struct {
+				TimeNS int64 `json:"time_ns"`
+			} `json:"mode_mttkrp"`
+		} `json:"stats"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Engine != "coo" || rep.Iters != res.Iters {
+		t.Errorf("report header mismatch: %+v", rep)
+	}
+	for _, name := range []string{"symbolic", "mttkrp", "gram", "solve", "normalize", "fit"} {
+		if _, ok := rep.Stats.Phases[name]; !ok {
+			t.Errorf("phase %q missing from report", name)
+		}
+	}
+	if len(rep.Stats.ModeMTTKRP) != 3 {
+		t.Errorf("mode_mttkrp has %d entries, want 3", len(rep.Stats.ModeMTTKRP))
+	}
+	if rep.Stats.Phases["mttkrp"].Ops == 0 {
+		t.Error("mttkrp phase has zero ops")
+	}
+	// The breakdown must sum to TotalTime within 5%.
+	if rep.PhaseSumNS > rep.TotalNS {
+		t.Errorf("phase sum %d ns exceeds total %d ns", rep.PhaseSumNS, rep.TotalNS)
+	}
+	if float64(rep.PhaseSumNS) < 0.95*float64(rep.TotalNS) {
+		t.Errorf("phase sum %d ns covers <95%% of total %d ns", rep.PhaseSumNS, rep.TotalNS)
+	}
+}

@@ -7,7 +7,7 @@
 package coo
 
 import (
-	"sync/atomic"
+	"time"
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
@@ -22,7 +22,7 @@ type Engine struct {
 	workers int
 	stripes *par.Stripes
 	arena   *kernel.Arena
-	ops     atomic.Int64
+	ctr     engine.Counters
 }
 
 // New builds a COO engine over x. workers <= 0 selects GOMAXPROCS.
@@ -42,11 +42,13 @@ func (e *Engine) FactorUpdated(int) {}
 
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
-	return engine.Stats{HadamardOps: e.ops.Load()}
+	var s engine.Stats
+	e.ctr.Fill(&s)
+	return s
 }
 
 // ResetStats implements engine.Engine.
-func (e *Engine) ResetStats() { e.ops.Store(0) }
+func (e *Engine) ResetStats() { e.ctr.Reset() }
 
 // ensureStripes sizes the scatter lock pool from the actual output height
 // (next power of two, capped at 8192). Output heights differ per mode, so
@@ -61,13 +63,14 @@ func (e *Engine) ensureStripes(rows int) {
 // MTTKRP implements engine.Engine. Parallelizes over nonzero blocks; output
 // rows are protected by striped locks since distinct nonzeros may target the
 // same row.
-func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
+	if err := engine.CheckInputs(e.x.Dims, mode, factors, out); err != nil {
+		return err
+	}
+	start := time.Now()
 	x := e.x
 	n := x.Order()
 	r := out.Cols
-	if out.Rows != x.Dims[mode] {
-		panic("coo: MTTKRP output row count mismatch")
-	}
 	e.ensureStripes(out.Rows)
 	e.arena.EnsureRank(r)
 	out.Zero()
@@ -101,8 +104,10 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 			kernel.AddInto(out.Row(int(i)), row)
 			stripes.Unlock(i)
 		}
-		e.ops.Add(int64(hi-lo) * int64(n) * int64(r))
+		e.ctr.AddOps(int64(hi-lo) * int64(n) * int64(r))
 	})
+	e.ctr.Observe(start)
+	return nil
 }
 
 var _ engine.Engine = (*Engine)(nil)

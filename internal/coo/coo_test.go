@@ -94,16 +94,13 @@ func TestStatsCount(t *testing.T) {
 	}
 }
 
-func TestWrongOutputShapePanics(t *testing.T) {
+func TestWrongOutputShapeErrors(t *testing.T) {
 	x := tensor.RandomUniform(3, 6, 20, 13)
 	fs := randomFactors(x, 4, 14)
 	e := New(x, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("want panic for wrong output shape")
-		}
-	}()
-	e.MTTKRP(0, fs, dense.New(x.Dims[0]+1, 4))
+	if err := e.MTTKRP(0, fs, dense.New(x.Dims[0]+1, 4)); err == nil {
+		t.Fatal("want error for wrong output shape")
+	}
 }
 
 // Property: MTTKRP is linear in the tensor values — scaling all nonzeros by

@@ -7,10 +7,12 @@
 package cpd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"time"
 
 	"adatm/internal/dense"
@@ -45,6 +47,19 @@ type Options struct {
 	// engines need the sweep to follow their permutation so every
 	// intermediate is materialized exactly once per iteration.
 	ModeOrder []int
+	// Ctx, when non-nil, is checked between mode sub-iterations. On
+	// cancellation Run stops within one sub-iteration and returns the
+	// partial Result (factors normalized, Stopped set) together with
+	// ctx.Err().
+	Ctx context.Context
+	// Progress, when non-nil, is invoked after every completed iteration.
+	// Returning false stops the run early with a valid Result (Stopped
+	// set, no error).
+	Progress func(IterStats) bool
+	// CollectStats attaches a per-phase RunStats breakdown to the Result.
+	// When false (the default) only the coarse MTTKRPTime/TotalTime
+	// stopwatches run and the overhead is near zero.
+	CollectStats bool
 }
 
 // epsMU guards the multiplicative-update denominator against division by
@@ -61,9 +76,15 @@ type Result struct {
 	// MaxIters.
 	Converged bool
 	FitTrace  []float64
+	// Stopped reports that the run ended early — Ctx was cancelled or a
+	// Progress callback returned false — rather than by convergence or the
+	// iteration cap.
+	Stopped bool
 	// Timing breakdown.
 	MTTKRPTime time.Duration
 	TotalTime  time.Duration
+	// Stats holds the per-phase breakdown; nil unless Options.CollectStats.
+	Stats *RunStats
 }
 
 // Run decomposes x at the configured rank using the given MTTKRP engine.
@@ -106,36 +127,102 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 		return nil, err
 	}
 
+	lambda := make([]float64, r)
+	res := &Result{Factors: factors}
+	var clock *phaseClock
+	if opt.CollectStats {
+		res.Stats = &RunStats{ModeMTTKRP: make([]PhaseStats, n)}
+		clock = &phaseClock{rs: res.Stats}
+	}
+
+	start := time.Now()
+
 	// Precompute the Gram matrices W⁽ⁿ⁾ = U⁽ⁿ⁾ᵀU⁽ⁿ⁾.
+	clock.start()
 	grams := make([]*dense.Matrix, n)
 	for m := 0; m < n; m++ {
 		grams[m] = dense.Gram(factors[m], nil, opt.Workers)
 	}
+	clock.tick(PhaseGram)
 
 	normX := x.Norm()
-	lambda := make([]float64, r)
-	res := &Result{Factors: factors}
+	clock.tick(PhaseFit)
 	m := dense.New(maxDim(x.Dims), r) // MTTKRP output, reused across modes
 	h := dense.New(r, r)
 
-	start := time.Now()
+	// finish seals the result on every exit path: the λ vector, the total
+	// stopwatch, and (when collecting) the symbolic phase copied from the
+	// engine plus the steady-state allocation counters.
+	var memBase runtime.MemStats
+	memBased := false
+	finish := func() {
+		res.Lambda = lambda
+		res.TotalTime = time.Since(start)
+		if res.Stats != nil {
+			res.Stats.Phases[PhaseSymbolic].Time = time.Duration(eng.Stats().SymbolicNS)
+			res.Stats.Phases[PhaseSymbolic].Count = 1
+			if memBased && res.Iters > 1 {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				res.Stats.SteadyAllocs = int64(ms.Mallocs - memBase.Mallocs)
+				res.Stats.SteadyAllocBytes = int64(ms.TotalAlloc - memBase.TotalAlloc)
+				res.Stats.SteadyIters = int64(res.Iters) - 1
+			}
+		}
+	}
+
+	var prevOps int64
+	if clock != nil {
+		prevOps = eng.Stats().HadamardOps
+	}
 	prevFit := math.Inf(-1)
 	lastMode := sweep[n-1]
 	for iter := 1; iter <= maxIters; iter++ {
+		if clock != nil && iter == 2 {
+			// Iteration 1 warms scratch buffers; steady state starts here.
+			runtime.ReadMemStats(&memBase)
+			memBased = true
+		}
 		var lastM *dense.Matrix
 		for _, mode := range sweep {
+			if opt.Ctx != nil {
+				select {
+				case <-opt.Ctx.Done():
+					res.Stopped = true
+					finish()
+					return res, opt.Ctx.Err()
+				default:
+				}
+			}
 			mm := &dense.Matrix{Rows: x.Dims[mode], Cols: r, Data: m.Data[:x.Dims[mode]*r]}
 			t0 := time.Now()
-			eng.MTTKRP(mode, factors, mm)
-			res.MTTKRPTime += time.Since(t0)
+			if err := eng.MTTKRP(mode, factors, mm); err != nil {
+				return nil, err
+			}
+			d := time.Since(t0)
+			res.MTTKRPTime += d
+			if clock != nil {
+				ops := eng.Stats().HadamardOps
+				ps := &res.Stats.Phases[PhaseMTTKRP]
+				ps.Time += d
+				ps.Count++
+				ps.Ops += ops - prevOps
+				mp := &res.Stats.ModeMTTKRP[mode]
+				mp.Time += d
+				mp.Count++
+				mp.Ops += ops - prevOps
+				prevOps = ops
+			}
 
 			// H = ∘_{i≠mode} W⁽ⁱ⁾.
+			clock.start()
 			h.Fill(1)
 			for i := 0; i < n; i++ {
 				if i != mode {
 					dense.Hadamard(h, grams[i], h)
 				}
 			}
+			clock.tick(PhaseGram)
 			if opt.NonNegative {
 				// Multiplicative rule: U ← U ∘ M ⁄ (U·H + ridge·U + ε).
 				denom := dense.MatMul(factors[mode], h, nil, opt.Workers)
@@ -154,17 +241,22 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 				factors[mode].CopyFrom(mm)
 				dense.SolveSPDInPlace(h, factors[mode], opt.Workers)
 			}
+			clock.tick(PhaseSolve)
 
 			norms := dense.NormalizeColumns(factors[mode])
 			copy(lambda, norms)
+			clock.tick(PhaseNormalize)
 			dense.Gram(factors[mode], grams[mode], opt.Workers)
 			eng.FactorUpdated(mode)
+			clock.tick(PhaseGram)
 			if mode == lastMode {
 				lastM = mm
 			}
 		}
 
+		clock.start()
 		fit := computeFit(normX, lambda, factors[lastMode], lastM, grams)
+		clock.tick(PhaseFit)
 		if opt.TrackFit {
 			res.FitTrace = append(res.FitTrace, fit)
 		}
@@ -174,10 +266,22 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 			res.Converged = true
 			break
 		}
+		if opt.Progress != nil {
+			stop := !opt.Progress(IterStats{
+				Iter:       iter,
+				Fit:        fit,
+				FitDelta:   fit - prevFit,
+				Elapsed:    time.Since(start),
+				MTTKRPTime: res.MTTKRPTime,
+			})
+			if stop {
+				res.Stopped = true
+				break
+			}
+		}
 		prevFit = fit
 	}
-	res.Lambda = lambda
-	res.TotalTime = time.Since(start)
+	finish()
 	return res, nil
 }
 

@@ -1,0 +1,199 @@
+package cpd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"adatm/internal/coo"
+	"adatm/internal/dense"
+	"adatm/internal/tensor"
+)
+
+// factorsConsistent checks the invariants a partial Result must satisfy:
+// every factor column-normalized (unit 2-norm or identically zero) and all
+// entries finite.
+func factorsConsistent(t *testing.T, res *Result) {
+	t.Helper()
+	for m, f := range res.Factors {
+		for j := 0; j < f.Cols; j++ {
+			s := 0.0
+			for i := 0; i < f.Rows; i++ {
+				v := f.At(i, j)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("factor %d has non-finite entry", m)
+				}
+				s += v * v
+			}
+			norm := math.Sqrt(s)
+			if norm > 1e-9 && math.Abs(norm-1) > 1e-6 {
+				t.Fatalf("factor %d column %d norm %g, want 1 or 0", m, j, norm)
+			}
+		}
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	x := tensor.RandomClustered(3, 20, 800, 0.6, 41)
+	eng := coo.New(x, 1)
+
+	// Cancel after the second completed iteration via Progress; the run
+	// must stop within one sub-iteration of the third.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	res, err := Run(x, eng, Options{
+		Rank: 4, MaxIters: 50, Tol: 1e-12, Seed: 5, Ctx: ctx,
+		Progress: func(s IterStats) bool {
+			if s.Iter == 2 {
+				cancel()
+			}
+			return true
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("want partial result on cancellation")
+	}
+	if !res.Stopped {
+		t.Error("Stopped not set on cancellation")
+	}
+	if res.Iters != 2 {
+		t.Errorf("Iters = %d, want 2 (cancelled during iteration 3)", res.Iters)
+	}
+	if res.TotalTime <= 0 {
+		t.Error("TotalTime not set on cancellation")
+	}
+	factorsConsistent(t, res)
+}
+
+func TestRunCancelledBeforeStart(t *testing.T) {
+	x := tensor.RandomClustered(3, 10, 200, 0.6, 42)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := Run(x, coo.New(x, 1), Options{Rank: 3, MaxIters: 10, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil || res.Iters != 0 {
+		t.Fatalf("want zero-iteration partial result, got %+v", res)
+	}
+}
+
+func TestRunProgressStop(t *testing.T) {
+	x := tensor.RandomClustered(3, 20, 800, 0.6, 43)
+	var seen []int
+	res, err := Run(x, coo.New(x, 1), Options{
+		Rank: 4, MaxIters: 50, Tol: 1e-12, Seed: 5,
+		Progress: func(s IterStats) bool {
+			seen = append(seen, s.Iter)
+			if s.Elapsed < 0 || s.MTTKRPTime <= 0 {
+				t.Errorf("iteration %d: bad timings %+v", s.Iter, s)
+			}
+			return s.Iter < 3
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Error("Stopped not set after Progress returned false")
+	}
+	if res.Iters != 3 {
+		t.Errorf("Iters = %d, want 3", res.Iters)
+	}
+	if len(seen) != 3 {
+		t.Errorf("Progress called %d times, want 3", len(seen))
+	}
+	if len(res.Lambda) != 4 {
+		t.Errorf("Lambda not sealed on early stop: %v", res.Lambda)
+	}
+	factorsConsistent(t, res)
+}
+
+func TestRunCollectStats(t *testing.T) {
+	x := tensor.RandomClustered(3, 60, 30000, 0.6, 44)
+	res, err := Run(x, coo.New(x, 1), Options{
+		Rank: 8, MaxIters: 10, Tol: 1e-15, Seed: 5, CollectStats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := res.Stats
+	if rs == nil {
+		t.Fatal("Stats nil with CollectStats")
+	}
+	n := x.Order()
+	wantCalls := int64(res.Iters * n)
+	if got := rs.Phases[PhaseMTTKRP].Count; got != wantCalls {
+		t.Errorf("MTTKRP count = %d, want %d", got, wantCalls)
+	}
+	// COO op model: nnz·N·R per call.
+	wantOps := wantCalls * int64(x.NNZ()) * int64(n) * 8
+	if got := rs.Phases[PhaseMTTKRP].Ops; got != wantOps {
+		t.Errorf("MTTKRP ops = %d, want %d", got, wantOps)
+	}
+	var modeSum PhaseStats
+	for _, mp := range rs.ModeMTTKRP {
+		modeSum.Time += mp.Time
+		modeSum.Count += mp.Count
+		modeSum.Ops += mp.Ops
+	}
+	if modeSum != rs.Phases[PhaseMTTKRP] {
+		t.Errorf("per-mode MTTKRP sum %+v != phase total %+v", modeSum, rs.Phases[PhaseMTTKRP])
+	}
+	for _, p := range []Phase{PhaseGram, PhaseSolve, PhaseNormalize, PhaseFit} {
+		if rs.Phases[p].Count == 0 || rs.Phases[p].Time < 0 {
+			t.Errorf("phase %s not populated: %+v", p, rs.Phases[p])
+		}
+	}
+	// The phase breakdown must account for (almost) all of the wall clock.
+	sum := rs.PhaseTimeSum()
+	if sum > res.TotalTime {
+		t.Errorf("phase sum %v exceeds TotalTime %v", sum, res.TotalTime)
+	}
+	if float64(sum) < 0.80*float64(res.TotalTime) {
+		t.Errorf("phase sum %v covers <80%% of TotalTime %v", sum, res.TotalTime)
+	}
+	if rs.SteadyIters != int64(res.Iters)-1 {
+		t.Errorf("SteadyIters = %d, want %d", rs.SteadyIters, res.Iters-1)
+	}
+}
+
+// Results must be bit-identical with and without stats collection: the
+// instrumentation only observes.
+func TestCollectStatsDoesNotPerturbResult(t *testing.T) {
+	x := tensor.RandomClustered(3, 15, 600, 0.6, 45)
+	base, err := Run(x, coo.New(x, 1), Options{Rank: 3, MaxIters: 6, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := Run(x, coo.New(x, 1), Options{Rank: 3, MaxIters: 6, Seed: 9, CollectStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Fit != inst.Fit || base.Iters != inst.Iters {
+		t.Fatalf("instrumented run diverged: fit %v vs %v, iters %d vs %d",
+			base.Fit, inst.Fit, base.Iters, inst.Iters)
+	}
+	for m := range base.Factors {
+		if base.Factors[m].MaxAbsDiff(inst.Factors[m]) != 0 {
+			t.Errorf("factor %d differs under instrumentation", m)
+		}
+	}
+}
+
+// A malformed engine input surfaces as an error from Run, not a panic.
+func TestRunPropagatesEngineError(t *testing.T) {
+	x := tensor.RandomClustered(3, 10, 200, 0.6, 46)
+	eng := coo.New(x, 1)
+	_, err := Run(x, eng, Options{Rank: 3, MaxIters: 2, Seed: 1,
+		Init: []*dense.Matrix{
+			dense.New(x.Dims[0], 3), dense.New(x.Dims[1], 3), dense.New(x.Dims[2], 3),
+		}})
+	if err != nil {
+		t.Fatalf("well-formed run errored: %v", err)
+	}
+}

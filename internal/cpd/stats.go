@@ -1,0 +1,137 @@
+package cpd
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Phase identifies one stage of the CP-ALS loop in the per-phase run
+// breakdown.
+type Phase int
+
+const (
+	// PhaseSymbolic is the engine's one-time symbolic/structure build. It
+	// happens at engine construction, outside Run's wall clock; the time is
+	// copied from the engine's counters so reports can show the full cost.
+	PhaseSymbolic Phase = iota
+	// PhaseMTTKRP covers the sparse MTTKRP kernel calls.
+	PhaseMTTKRP
+	// PhaseGram covers Gram precomputation, the per-mode Hadamard of Gram
+	// matrices, and the post-solve Gram refresh.
+	PhaseGram
+	// PhaseSolve covers the least-squares (or multiplicative-update) factor
+	// solve, including the copy of the MTTKRP output into the factor.
+	PhaseSolve
+	// PhaseNormalize covers column normalization of the updated factor.
+	PhaseNormalize
+	// PhaseFit covers the fast-fit evaluation (and the one-time ‖X‖).
+	PhaseFit
+	// NumPhases is the number of phases (array length, not a phase).
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{
+	PhaseSymbolic:  "symbolic",
+	PhaseMTTKRP:    "mttkrp",
+	PhaseGram:      "gram",
+	PhaseSolve:     "solve",
+	PhaseNormalize: "normalize",
+	PhaseFit:       "fit",
+}
+
+// String returns the phase's report name.
+func (p Phase) String() string {
+	if p < 0 || p >= NumPhases {
+		return "unknown"
+	}
+	return phaseNames[p]
+}
+
+// PhaseStats accumulates one phase's cost over a run.
+type PhaseStats struct {
+	Time  time.Duration `json:"time_ns"`
+	Count int64         `json:"count"`
+	// Ops is the Hadamard op-unit count (MTTKRP phases only; 0 elsewhere).
+	Ops int64 `json:"ops,omitempty"`
+}
+
+// RunStats is the structured per-phase breakdown of one decomposition run,
+// attached to Result when Options.CollectStats is set.
+type RunStats struct {
+	Phases [NumPhases]PhaseStats
+	// ModeMTTKRP splits the MTTKRP phase per tensor mode.
+	ModeMTTKRP []PhaseStats
+	// Steady-state allocation behaviour, measured from iteration 2 onward
+	// (iteration 1 warms caches and scratch buffers).
+	SteadyAllocs     int64
+	SteadyAllocBytes int64
+	SteadyIters      int64
+}
+
+// PhaseTimeSum returns the summed time of the iteration phases — everything
+// except PhaseSymbolic, which is engine-construction work outside Run's
+// wall clock. It accounts for (nearly) all of Result.TotalTime.
+func (rs *RunStats) PhaseTimeSum() time.Duration {
+	var sum time.Duration
+	for p := Phase(0); p < NumPhases; p++ {
+		if p == PhaseSymbolic {
+			continue
+		}
+		sum += rs.Phases[p].Time
+	}
+	return sum
+}
+
+// MarshalJSON renders the phase array as a name-keyed object so reports
+// stay readable without the Phase enum.
+func (rs *RunStats) MarshalJSON() ([]byte, error) {
+	phases := make(map[string]PhaseStats, NumPhases)
+	for p := Phase(0); p < NumPhases; p++ {
+		phases[p.String()] = rs.Phases[p]
+	}
+	return json.Marshal(struct {
+		Phases           map[string]PhaseStats `json:"phases"`
+		ModeMTTKRP       []PhaseStats          `json:"mode_mttkrp"`
+		SteadyAllocs     int64                 `json:"steady_allocs"`
+		SteadyAllocBytes int64                 `json:"steady_alloc_bytes"`
+		SteadyIters      int64                 `json:"steady_iters"`
+	}{phases, rs.ModeMTTKRP, rs.SteadyAllocs, rs.SteadyAllocBytes, rs.SteadyIters})
+}
+
+// IterStats is the per-iteration progress snapshot handed to
+// Options.Progress.
+type IterStats struct {
+	Iter       int           // 1-based iteration number just completed
+	Fit        float64       // fit after this iteration
+	FitDelta   float64       // fit − previous fit (+Inf after iteration 1)
+	Elapsed    time.Duration // wall time since the iteration loop started
+	MTTKRPTime time.Duration // cumulative MTTKRP time so far
+}
+
+// phaseClock attributes wall time to phases. A nil clock is valid and makes
+// every method a no-op, so the uninstrumented path costs one pointer test
+// per phase boundary and performs no time syscalls beyond the coarse
+// MTTKRP/total stopwatches that were always there.
+type phaseClock struct {
+	rs   *RunStats
+	mark time.Time
+}
+
+// start begins a measurement interval.
+func (c *phaseClock) start() {
+	if c != nil {
+		c.mark = time.Now()
+	}
+}
+
+// tick charges the time since the previous start/tick to the phase and
+// starts the next interval.
+func (c *phaseClock) tick(p Phase) {
+	if c == nil {
+		return
+	}
+	now := time.Now()
+	c.rs.Phases[p].Time += now.Sub(c.mark)
+	c.rs.Phases[p].Count++
+	c.mark = now
+}

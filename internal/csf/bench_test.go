@@ -32,7 +32,7 @@ func BenchmarkBuild(b *testing.B) {
 func BenchmarkRootKernel(b *testing.B) {
 	x := benchTensor(4)
 	fs := randomFactors(x, 16, 7)
-	t := Build(x, []int{0, 1, 2, 3})
+	t := mustBuild(x, []int{0, 1, 2, 3})
 	out := dense.New(x.Dims[0], 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -43,7 +43,7 @@ func BenchmarkRootKernel(b *testing.B) {
 func BenchmarkLevelKernel(b *testing.B) {
 	x := benchTensor(4)
 	fs := randomFactors(x, 16, 9)
-	t := Build(x, []int{0, 1, 2, 3})
+	t := mustBuild(x, []int{0, 1, 2, 3})
 	stripes := par.NewStripes(1024)
 	for _, level := range []int{1, 2, 3} {
 		mode := level

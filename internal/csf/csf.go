@@ -15,8 +15,9 @@
 package csf
 
 import (
+	"fmt"
 	"sort"
-	"sync/atomic"
+	"time"
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
@@ -46,11 +47,18 @@ type Tensor struct {
 }
 
 // Build constructs a CSF tree from a deduplicated COO tensor using the given
-// level order (a permutation of the modes).
-func Build(x *tensor.COO, modeOrder []int) *Tensor {
+// level order, which must be a permutation of the modes.
+func Build(x *tensor.COO, modeOrder []int) (*Tensor, error) {
 	n := x.Order()
 	if len(modeOrder) != n {
-		panic("csf: Build mode order arity mismatch")
+		return nil, fmt.Errorf("csf: mode order has %d entries for order-%d tensor", len(modeOrder), n)
+	}
+	seen := make([]bool, n)
+	for _, m := range modeOrder {
+		if m < 0 || m >= n || seen[m] {
+			return nil, fmt.Errorf("csf: mode order %v is not a permutation of 0..%d", modeOrder, n-1)
+		}
+		seen[m] = true
 	}
 	nnz := x.NNZ()
 	perm := make([]int, nnz)
@@ -104,6 +112,17 @@ func Build(x *tensor.COO, modeOrder []int) *Tensor {
 		t.Ptr[l] = append(t.Ptr[l], int64(len(t.Fids[l+1])))
 	}
 	t.RootLeafPtr = append(t.RootLeafPtr, int64(len(t.Vals)))
+	return t, nil
+}
+
+// mustBuild wraps Build for the engine constructors, which synthesize their
+// own mode orders: a build error there is an internal invariant violation,
+// not a caller mistake.
+func mustBuild(x *tensor.COO, modeOrder []int) *Tensor {
+	t, err := Build(x, modeOrder)
+	if err != nil {
+		panic(err)
+	}
 	return t
 }
 
@@ -264,7 +283,7 @@ type AllMode struct {
 	trees   []*Tensor
 	states  []*rootState
 	workers int
-	ops     atomic.Int64
+	ctr     engine.Counters
 	idxB    int64
 }
 
@@ -292,7 +311,7 @@ func NewAllMode(x *tensor.COO, workers int) *AllMode {
 			return rest[a] < rest[b]
 		})
 		order := append([]int{mode}, rest...)
-		e.trees[mode] = Build(x, order)
+		e.trees[mode] = mustBuild(x, order)
 		e.states[mode] = newRootState(e.trees[mode], w)
 		e.idxB += e.trees[mode].IndexBytes()
 	}
@@ -313,15 +332,23 @@ func (e *AllMode) Stats() engine.Stats {
 	for _, t := range e.trees {
 		vb += int64(len(t.Vals)) * 8
 	}
-	return engine.Stats{HadamardOps: e.ops.Load(), IndexBytes: e.idxB, ValueBytes: vb, PeakValueBytes: vb}
+	s := engine.Stats{IndexBytes: e.idxB, ValueBytes: vb, PeakValueBytes: vb}
+	e.ctr.Fill(&s)
+	return s
 }
 
 // ResetStats implements engine.Engine.
-func (e *AllMode) ResetStats() { e.ops.Store(0) }
+func (e *AllMode) ResetStats() { e.ctr.Reset() }
 
 // MTTKRP implements engine.Engine.
-func (e *AllMode) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
-	e.ops.Add(e.trees[mode].mttkrpRoot(factors, out, e.workers, e.states[mode]))
+func (e *AllMode) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
+	if err := engine.CheckInputs(e.trees[0].Dims, mode, factors, out); err != nil {
+		return err
+	}
+	start := time.Now()
+	e.ctr.AddOps(e.trees[mode].mttkrpRoot(factors, out, e.workers, e.states[mode]))
+	e.ctr.Observe(start)
+	return nil
 }
 
 var _ engine.Engine = (*AllMode)(nil)

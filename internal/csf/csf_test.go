@@ -26,7 +26,7 @@ func TestBuildStructure(t *testing.T) {
 	x.Append([]tensor.Index{0, 0, 1}, 2)
 	x.Append([]tensor.Index{0, 1, 0}, 3)
 	x.Append([]tensor.Index{1, 0, 0}, 4)
-	c := Build(x, []int{0, 1, 2})
+	c := mustBuild(x, []int{0, 1, 2})
 	nodes := c.NNodes()
 	if nodes[0] != 2 { // roots 0 and 1
 		t.Errorf("level 0 nodes = %d, want 2", nodes[0])

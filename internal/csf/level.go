@@ -2,7 +2,7 @@ package csf
 
 import (
 	"sort"
-	"sync/atomic"
+	"time"
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
@@ -184,7 +184,7 @@ type Single struct {
 	stripes *par.Stripes
 	root    *rootState
 	deep    *levelState
-	ops     atomic.Int64
+	ctr     engine.Counters
 }
 
 // NewSingle builds the single-tree engine over x.
@@ -211,7 +211,7 @@ func NewSingle(x *tensor.COO, workers int) *Single {
 		}
 	}
 	e := &Single{
-		tree:    Build(x, order),
+		tree:    mustBuild(x, order),
 		workers: workers,
 		stripes: par.StripesFor(maxDim),
 	}
@@ -233,20 +233,28 @@ func (e *Single) FactorUpdated(int) {}
 // Stats implements engine.Engine.
 func (e *Single) Stats() engine.Stats {
 	vb := int64(len(e.tree.Vals)) * 8
-	return engine.Stats{HadamardOps: e.ops.Load(), IndexBytes: e.tree.IndexBytes(), ValueBytes: vb, PeakValueBytes: vb}
+	s := engine.Stats{IndexBytes: e.tree.IndexBytes(), ValueBytes: vb, PeakValueBytes: vb}
+	e.ctr.Fill(&s)
+	return s
 }
 
 // ResetStats implements engine.Engine.
-func (e *Single) ResetStats() { e.ops.Store(0) }
+func (e *Single) ResetStats() { e.ctr.Reset() }
 
 // MTTKRP implements engine.Engine.
-func (e *Single) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+func (e *Single) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
+	if err := engine.CheckInputs(e.tree.Dims, mode, factors, out); err != nil {
+		return err
+	}
+	start := time.Now()
 	level := e.levelOf[mode]
 	if level == 0 {
-		e.ops.Add(e.tree.mttkrpRoot(factors, out, e.workers, e.root))
-		return
+		e.ctr.AddOps(e.tree.mttkrpRoot(factors, out, e.workers, e.root))
+	} else {
+		e.ctr.AddOps(e.tree.mttkrpLevel(level, factors, out, e.workers, e.stripes, e.deep))
 	}
-	e.ops.Add(e.tree.mttkrpLevel(level, factors, out, e.workers, e.stripes, e.deep))
+	e.ctr.Observe(start)
+	return nil
 }
 
 var _ engine.Engine = (*Single)(nil)

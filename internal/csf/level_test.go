@@ -87,7 +87,7 @@ func TestSingleSmallestModeAtRoot(t *testing.T) {
 func TestLevelKernelRootEqualsRootKernel(t *testing.T) {
 	x := tensor.RandomClustered(3, 10, 400, 0.6, 47)
 	fs := randomFactors(x, 4, 48)
-	tree := Build(x, []int{0, 1, 2})
+	tree := mustBuild(x, []int{0, 1, 2})
 	a := dense.New(x.Dims[0], 4)
 	b := dense.New(x.Dims[0], 4)
 	tree.MTTKRPRoot(fs, a, 2)

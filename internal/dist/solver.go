@@ -44,8 +44,12 @@ func NewCluster(x *tensor.COO, p *Partition, factory func(shard *tensor.COO) eng
 
 // MTTKRP computes the global MTTKRP for the mode by local shard MTTKRPs
 // (concurrent across processes) followed by the fold reduction into out.
-// Empty shards contribute zero.
-func (c *Cluster) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+// Empty shards contribute zero. The first shard error (in process order)
+// is returned and the fold is skipped.
+func (c *Cluster) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
+	if err := engine.CheckInputs(c.X.Dims, mode, factors, out); err != nil {
+		return err
+	}
 	r := out.Cols
 	if c.partials == nil || c.partials[0].Cols != r {
 		c.partials = make([]*dense.Matrix, c.Part.P)
@@ -53,13 +57,19 @@ func (c *Cluster) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 			c.partials[i] = dense.New(maxDim(c.X.Dims), r)
 		}
 	}
+	errs := make([]error, c.Part.P)
 	par.For(c.Part.P, 0, func(p int) {
 		if c.shards[p].NNZ() == 0 {
 			return
 		}
 		mm := &dense.Matrix{Rows: c.X.Dims[mode], Cols: r, Data: c.partials[p].Data[:c.X.Dims[mode]*r]}
-		c.Engines[p].MTTKRP(mode, factors, mm)
+		errs[p] = c.Engines[p].MTTKRP(mode, factors, mm)
 	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 	// Fold: deterministic sum in process order (an MPI reduction would be
 	// order-dependent too; fixing the order keeps runs reproducible).
 	out.Zero()
@@ -76,6 +86,7 @@ func (c *Cluster) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 			}
 		}
 	})
+	return nil
 }
 
 // FactorUpdated forwards the invalidation to every process engine.
@@ -95,6 +106,8 @@ func (c *Cluster) Stats() engine.Stats {
 	for _, e := range c.Engines {
 		es := e.Stats()
 		s.HadamardOps += es.HadamardOps
+		s.MTTKRPCalls += es.MTTKRPCalls
+		s.MTTKRPNS += es.MTTKRPNS
 		s.IndexBytes += es.IndexBytes
 		s.ValueBytes += es.ValueBytes
 		s.PeakValueBytes += es.PeakValueBytes

@@ -9,6 +9,10 @@
 package engine
 
 import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
 	"adatm/internal/dense"
 )
 
@@ -16,11 +20,16 @@ import (
 //
 // HadamardOps counts fused multiply–accumulate operations on length-R rows
 // (one unit = one scalar multiply-add), which is the paper's
-// machine-independent operation metric. IndexBytes and ValueBytes are the
-// engine's auxiliary storage beyond the input tensor; PeakValueBytes tracks
-// the maximum simultaneously live intermediate value storage.
+// machine-independent operation metric. MTTKRPCalls/MTTKRPNS record how many
+// MTTKRP invocations ran and the wall time spent inside them — the counters
+// the run-report and experiment harness read instead of wrapping every call
+// in an ad-hoc stopwatch. IndexBytes and ValueBytes are the engine's
+// auxiliary storage beyond the input tensor; PeakValueBytes tracks the
+// maximum simultaneously live intermediate value storage.
 type Stats struct {
 	HadamardOps    int64
+	MTTKRPCalls    int64
+	MTTKRPNS       int64 // wall time inside MTTKRP, nanoseconds
 	IndexBytes     int64
 	ValueBytes     int64
 	PeakValueBytes int64
@@ -34,8 +43,11 @@ type Engine interface {
 
 	// MTTKRP computes M = X_(mode) · ⊙_{i≠mode} factors[i] into out, which
 	// must be Dims[mode] × R and is fully overwritten. factors must hold one
-	// I_i × R matrix per mode (factors[mode] is ignored).
-	MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix)
+	// I_i × R matrix per mode (factors[mode] is ignored). Malformed inputs —
+	// mode out of range, wrong factor arity or shapes, an output that is not
+	// Dims[mode] × R — return an error without touching out, so a server
+	// embedding the library cannot be crashed by a bad request.
+	MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error
 
 	// FactorUpdated tells the engine that factors[mode] changed, so any
 	// cached intermediate depending on it must be invalidated. Engines
@@ -47,4 +59,75 @@ type Engine interface {
 
 	// ResetStats zeroes the work counters (footprint counters persist).
 	ResetStats()
+}
+
+// CheckInputs validates the MTTKRP contract shared by every engine against
+// the tensor's dimensions: mode in range, one factor per mode (the target
+// mode's entry may be nil — it is never read), every non-target factor
+// shaped at least Dims[m] × R, and out shaped exactly Dims[mode] × R with
+// R >= 1. The happy path performs no allocation, so engines can call it on
+// every kernel entry without disturbing the steady-state zero-alloc
+// guarantee.
+func CheckInputs(dims []int, mode int, factors []*dense.Matrix, out *dense.Matrix) error {
+	if mode < 0 || mode >= len(dims) {
+		return fmt.Errorf("engine: mode %d out of range for order-%d tensor", mode, len(dims))
+	}
+	if out == nil {
+		return fmt.Errorf("engine: nil MTTKRP output matrix")
+	}
+	if out.Rows != dims[mode] {
+		return fmt.Errorf("engine: MTTKRP output has %d rows, want Dims[%d] = %d", out.Rows, mode, dims[mode])
+	}
+	r := out.Cols
+	if r < 1 {
+		return fmt.Errorf("engine: MTTKRP output has %d columns, want rank >= 1", r)
+	}
+	if len(factors) != len(dims) {
+		return fmt.Errorf("engine: %d factor matrices for order-%d tensor", len(factors), len(dims))
+	}
+	for m, f := range factors {
+		if m == mode {
+			continue
+		}
+		if f == nil {
+			return fmt.Errorf("engine: factor %d is nil", m)
+		}
+		if f.Rows < dims[m] || f.Cols != r {
+			return fmt.Errorf("engine: factor %d is %dx%d, want at least %dx%d", m, f.Rows, f.Cols, dims[m], r)
+		}
+	}
+	return nil
+}
+
+// Counters is the atomic work accumulator every engine embeds: Hadamard op
+// units plus the MTTKRP call count and wall time. AddOps is safe to call
+// from worker goroutines; Observe is called once per MTTKRP from the
+// single-threaded kernel entry.
+type Counters struct {
+	ops   atomic.Int64
+	calls atomic.Int64
+	ns    atomic.Int64
+}
+
+// AddOps accumulates Hadamard op units.
+func (c *Counters) AddOps(n int64) { c.ops.Add(n) }
+
+// Observe records one completed MTTKRP call that started at the given time.
+func (c *Counters) Observe(start time.Time) {
+	c.calls.Add(1)
+	c.ns.Add(time.Since(start).Nanoseconds())
+}
+
+// Fill copies the work counters into s (footprint fields are untouched).
+func (c *Counters) Fill(s *Stats) {
+	s.HadamardOps = c.ops.Load()
+	s.MTTKRPCalls = c.calls.Load()
+	s.MTTKRPNS = c.ns.Load()
+}
+
+// Reset zeroes the work counters.
+func (c *Counters) Reset() {
+	c.ops.Store(0)
+	c.calls.Store(0)
+	c.ns.Store(0)
 }

@@ -5,6 +5,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -73,6 +74,29 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// JSON renders the table as one machine-readable JSON object per table:
+// the header fields plus rows as column-keyed records.
+func (t *Table) JSON(w io.Writer) error {
+	records := make([]map[string]string, 0, len(t.Rows))
+	for _, row := range t.Rows {
+		rec := make(map[string]string, len(t.Columns))
+		for i, c := range t.Columns {
+			if i < len(row) {
+				rec[c] = row[i]
+			}
+		}
+		records = append(records, rec)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID    string              `json:"id"`
+		Title string              `json:"title"`
+		Rows  []map[string]string `json:"rows"`
+		Notes []string            `json:"notes,omitempty"`
+	}{t.ID, t.Title, records, t.Notes})
 }
 
 // Markdown renders the table as a GitHub-flavored markdown table.

@@ -14,6 +14,7 @@ package hicoo
 import (
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
@@ -119,7 +120,7 @@ type Engine struct {
 	// base holds per-worker decoded block-origin scratch.
 	chunks []int
 	base   [][]int
-	ops    atomic.Int64
+	ctr    engine.Counters
 }
 
 // New builds the blocked engine over x.
@@ -155,28 +156,30 @@ func (e *Engine) FactorUpdated(int) {}
 
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
-	return engine.Stats{
-		HadamardOps: e.ops.Load(),
-		IndexBytes:  e.t.IndexBytes(),
-		ValueBytes:  int64(len(e.t.Vals)) * 8,
+	s := engine.Stats{
+		IndexBytes: e.t.IndexBytes(),
+		ValueBytes: int64(len(e.t.Vals)) * 8,
 	}
+	e.ctr.Fill(&s)
+	return s
 }
 
 // ResetStats implements engine.Engine.
-func (e *Engine) ResetStats() { e.ops.Store(0) }
+func (e *Engine) ResetStats() { e.ctr.Reset() }
 
 // MTTKRP implements engine.Engine. Within a block, every element's factor
 // row lives inside one 128-row window per mode, which is where the format's
 // cache locality comes from. Blocks run in dynamic parallel batches; the
 // target-mode rows are guarded by striped locks because distinct blocks can
 // share mode-n block coordinates.
-func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
+	if err := engine.CheckInputs(e.t.Dims, mode, factors, out); err != nil {
+		return err
+	}
+	start := time.Now()
 	t := e.t
 	n := len(t.Dims)
 	r := out.Cols
-	if out.Rows != t.Dims[mode] {
-		panic("hicoo: MTTKRP output row count mismatch")
-	}
 	if e.stripes == nil || (e.stripes.Len() < out.Rows && e.stripes.Len() < 8192) {
 		e.stripes = par.StripesFor(out.Rows)
 	}
@@ -216,7 +219,9 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 		}
 		ops.Add(local)
 	})
-	e.ops.Add(ops.Load())
+	e.ctr.AddOps(ops.Load())
+	e.ctr.Observe(start)
+	return nil
 }
 
 var _ engine.Engine = (*Engine)(nil)

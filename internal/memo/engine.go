@@ -2,7 +2,6 @@ package memo
 
 import (
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"adatm/internal/dense"
@@ -45,7 +44,7 @@ type Engine struct {
 	curFromRoot bool
 	body        func(worker, lo, hi int)
 
-	ops        atomic.Int64
+	ctr        engine.Counters
 	idxBytes   int64
 	curValB    int64
 	peakValB   int64
@@ -109,17 +108,18 @@ func (e *Engine) Name() string { return e.name }
 
 // Stats implements engine.Engine.
 func (e *Engine) Stats() engine.Stats {
-	return engine.Stats{
-		HadamardOps:    e.ops.Load(),
+	s := engine.Stats{
 		IndexBytes:     e.idxBytes,
 		ValueBytes:     e.curValB,
 		PeakValueBytes: e.peakValB,
 		SymbolicNS:     e.symbolicNS,
 	}
+	e.ctr.Fill(&s)
+	return s
 }
 
 // ResetStats implements engine.Engine.
-func (e *Engine) ResetStats() { e.ops.Store(0) }
+func (e *Engine) ResetStats() { e.ctr.Reset() }
 
 // FactorUpdated implements engine.Engine: every cached node contracted with
 // factors[mode] becomes stale and is dropped.
@@ -171,11 +171,12 @@ func (e *Engine) alloc(t *node, r int) {
 }
 
 // MTTKRP implements engine.Engine.
-func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
-	r := out.Cols
-	if out.Rows != e.x.Dims[mode] {
-		panic("memo: MTTKRP output row count mismatch")
+func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
+	if err := engine.CheckInputs(e.x.Dims, mode, factors, out); err != nil {
+		return err
 	}
+	start := time.Now()
+	r := out.Cols
 	if e.rank != r {
 		e.invalidateAll()
 		e.rank = r
@@ -188,6 +189,8 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
 	// absent from the tensor keep zero rows.
 	out.Zero()
 	e.compute(leaf, factors, r, out, leaf.inds[0])
+	e.ctr.Observe(start)
+	return nil
 }
 
 // ensure materializes t.vals (recursively materializing ancestors first).
@@ -220,7 +223,7 @@ func (e *Engine) compute(t *node, factors []*dense.Matrix, r int, dst *dense.Mat
 	e.curNode, e.curDst, e.curScatter, e.curFromRoot = t, dst, scatter, p.parent == nil
 	par.ForChunks(t.chunks, e.workers, e.body)
 	e.curNode, e.curDst, e.curScatter = nil, nil, nil
-	e.ops.Add(int64(p.nelem) * int64(len(t.delta)+1) * int64(r))
+	e.ctr.AddOps(int64(p.nelem) * int64(len(t.delta)+1) * int64(r))
 }
 
 // runChunk processes one scheduled chunk of the current compute's child

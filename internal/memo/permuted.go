@@ -85,11 +85,17 @@ func (e *Permuted) FactorUpdated(mode int) { e.inner.FactorUpdated(e.pos[mode]) 
 
 // MTTKRP implements engine.Engine: mode and factors are in the original
 // numbering.
-func (e *Permuted) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) {
+func (e *Permuted) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
+	if mode < 0 || mode >= len(e.perm) {
+		return fmt.Errorf("memo: MTTKRP mode %d out of range for order-%d tensor", mode, len(e.perm))
+	}
+	if len(factors) != len(e.perm) {
+		return fmt.Errorf("memo: MTTKRP got %d factors for order-%d tensor", len(factors), len(e.perm))
+	}
 	for p, m := range e.perm {
 		e.pfactors[p] = factors[m]
 	}
-	e.inner.MTTKRP(e.pos[mode], e.pfactors, out)
+	return e.inner.MTTKRP(e.pos[mode], e.pfactors, out)
 }
 
 // PerIterationOps forwards to the inner engine.

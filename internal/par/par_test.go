@@ -203,6 +203,143 @@ func TestWeightedBounds(t *testing.T) {
 	}
 }
 
+// chunkWeights returns the weight of every chunk described by bounds.
+func chunkWeights(prefix []int64, bounds []int) []int64 {
+	out := make([]int64, len(bounds)-1)
+	for c := 0; c < len(bounds)-1; c++ {
+		out[c] = prefix[bounds[c+1]] - prefix[bounds[c]]
+	}
+	return out
+}
+
+// maxItemWeight returns the largest single item weight in the prefix array.
+func maxItemWeight(prefix []int64) int64 {
+	var m int64
+	for i := 0; i+1 < len(prefix); i++ {
+		if w := prefix[i+1] - prefix[i]; w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// checkBalance asserts the load-balance invariant of WeightedBounds: every
+// chunk's weight is at most the ideal share (rounded up) plus one maximal
+// item — the best any contiguous splitter can guarantee.
+func checkBalance(t *testing.T, name string, prefix []int64, nchunks int) {
+	t.Helper()
+	b := WeightedBounds(prefix, nchunks)
+	n := len(prefix) - 1
+	if b[0] != 0 || b[len(b)-1] != n {
+		t.Fatalf("%s: bounds %v do not span [0,%d]", name, b, n)
+	}
+	for c := 0; c+1 < len(b); c++ {
+		if b[c] > b[c+1] {
+			t.Fatalf("%s: non-monotone bounds %v", name, b)
+		}
+	}
+	total := prefix[n]
+	k := int64(len(b) - 1)
+	ideal := (total + k - 1) / k // ⌈total/nchunks⌉
+	limit := ideal + maxItemWeight(prefix)
+	for c, w := range chunkWeights(prefix, b) {
+		if w > limit {
+			t.Errorf("%s: chunk %d weight %d > ideal %d + max item %d",
+				name, c, w, ideal, maxItemWeight(prefix))
+		}
+	}
+}
+
+// TestWeightedBoundsBalance is the regression test for the truncating-
+// division scheduler bug: computing targets as total/nchunks*c loses up to
+// nchunks-1 weight units per chunk share, which piled onto the last chunk
+// (weight 55 vs the ideal 15.6 at 1000 unit items / 64 chunks). Every shape
+// here must satisfy max chunk weight <= ceil(total/nchunks) + max item.
+func TestWeightedBoundsBalance(t *testing.T) {
+	// The reproduced imbalance case: 1000 unit-weight items, 64 chunks.
+	uniform := make([]int64, 1001)
+	for i := range uniform {
+		uniform[i] = int64(i)
+	}
+	checkBalance(t, "uniform-1000x64", uniform, 64)
+	b := WeightedBounds(uniform, 64)
+	var worst int64
+	for _, w := range chunkWeights(uniform, b) {
+		if w > worst {
+			worst = w
+		}
+	}
+	// ceil(1000/64) = 16 (+1 item); the truncating bug produced 55 here.
+	if worst > 17 {
+		t.Errorf("uniform 1000x64: max chunk weight %d, want <= 17", worst)
+	}
+
+	// Zipf-skewed weights: item i weighs ~ 1/(i+1) scaled up.
+	zipf := make([]int64, 2001)
+	for i := 1; i < len(zipf); i++ {
+		zipf[i] = zipf[i-1] + int64(100000/(i))
+	}
+	checkBalance(t, "zipf", zipf, 64)
+	checkBalance(t, "zipf", zipf, 7)
+
+	// Zero-weight runs interleaved with weighted items.
+	mixed := make([]int64, 501)
+	for i := 1; i < len(mixed); i++ {
+		w := int64(0)
+		if i%5 == 0 {
+			w = int64(i)
+		}
+		mixed[i] = mixed[i-1] + w
+	}
+	checkBalance(t, "sparse-weights", mixed, 32)
+
+	// total < nchunks: targets round to tiny values; invariant must hold.
+	small := []int64{0, 1, 1, 2, 2, 3, 3, 3, 4, 5}
+	checkBalance(t, "total<nchunks", small, 8)
+	checkBalance(t, "total<nchunks", small, 64)
+}
+
+// TestWeightedBoundsZeroTotal pins the degenerate all-zero-weight fix: the
+// bounds must fall back to an even item split instead of collapsing every
+// interior bound to 0 (which handed one chunk all n items).
+func TestWeightedBoundsZeroTotal(t *testing.T) {
+	prefix := make([]int64, 129) // 128 items, all weight 0
+	b := WeightedBounds(prefix, 8)
+	if len(b) != 9 || b[0] != 0 || b[8] != 128 {
+		t.Fatalf("zero-total bounds = %v", b)
+	}
+	for c := 0; c < 8; c++ {
+		if w := b[c+1] - b[c]; w != 16 {
+			t.Errorf("zero-total chunk %d spans %d items, want 16", c, w)
+		}
+	}
+}
+
+// TestWeightedBoundsHugeTotal exercises the 128-bit overflow guard: totals
+// beyond 2^40 must still produce exact floor(c*total/nchunks) targets.
+func TestWeightedBoundsHugeTotal(t *testing.T) {
+	const n = 64
+	per := int64(1) << 45 // total = 2^51, c*total would overflow naive i64 at c*total ~ 2^57 < 2^63, so also check near the edge below
+	prefix := make([]int64, n+1)
+	for i := 1; i <= n; i++ {
+		prefix[i] = prefix[i-1] + per
+	}
+	checkBalance(t, "huge-uniform", prefix, 16)
+	// Near-overflow: total close to 2^62, 64 chunks — naive c*total overflows.
+	prefix2 := make([]int64, n+1)
+	per2 := (int64(1) << 62) / n
+	for i := 1; i <= n; i++ {
+		prefix2[i] = prefix2[i-1] + per2
+	}
+	checkBalance(t, "near-overflow", prefix2, 64)
+	b := WeightedBounds(prefix2, 64)
+	for c := 0; c < 64; c++ {
+		if b[c] != c {
+			t.Fatalf("near-overflow bounds %v: want the identity split", b)
+		}
+	}
+}
+
 func TestForChunksCoversAndSkipsEmpty(t *testing.T) {
 	prefix := []int64{0, 10, 10, 10, 40, 45, 50, 100, 100, 120}
 	n := len(prefix) - 1

@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -55,6 +56,9 @@ func ReadTNS(r io.Reader) (*COO, error) {
 		v, err := strconv.ParseFloat(fields[order], 64)
 		if err != nil {
 			return nil, fmt.Errorf("tensor: line %d value: %v", line, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("tensor: line %d value: non-finite value %q", line, fields[order])
 		}
 		t.Vals = append(t.Vals, v)
 	}

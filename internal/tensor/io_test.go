@@ -61,11 +61,25 @@ func TestReadTNSErrors(t *testing.T) {
 		"bad value":      "1 1 zz\n",
 		"lonely field":   "42\n",
 		"negative index": "-3 1 1.0\n",
+		"nan value":      "1 1 NaN\n",
+		"inf value":      "1 1 Inf\n",
+		"neg inf value":  "1 1 -Infinity\n",
 	}
 	for name, in := range cases {
 		if _, err := ReadTNS(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: ReadTNS accepted %q", name, in)
 		}
+	}
+}
+
+func TestReadTNSNonFiniteErrorIsLineNumbered(t *testing.T) {
+	in := "1 1 1.0\n# fine so far\n2 2 nan\n"
+	_, err := ReadTNS(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("ReadTNS accepted a NaN value")
+	}
+	if !strings.Contains(err.Error(), "line 3") || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("error %q does not carry line number and cause", err)
 	}
 }
 

@@ -9,3 +9,10 @@ make build
 make vet
 make test
 make test-race
+
+# The CLI flag paths run under the race detector explicitly (they spawn the
+# full decomposition pipeline), and every benchmark body executes once so
+# bench code cannot bitrot silently.
+go vet ./cmd/...
+go test -race ./cmd/...
+make bench-smoke
