@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-kernels ci fuzz experiments experiments-quick examples clean
+.PHONY: all build vet test test-race bench bench-smoke bench-kernels obs-smoke ci fuzz experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -25,6 +25,11 @@ bench:
 # without paying for real measurements.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# End-to-end check of the observability wiring: run cpd with the live debug
+# server, scrape /metrics + /healthz + /run, and validate the trace export.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # Machine-readable microbenchmarks of the shared kernel layer.
 bench-kernels:

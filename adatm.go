@@ -29,6 +29,8 @@ import (
 	"adatm/internal/hicoo"
 	"adatm/internal/memo"
 	"adatm/internal/model"
+	"adatm/internal/obs"
+	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
 
@@ -70,6 +72,18 @@ type (
 	Phase = cpd.Phase
 	// IterStats is the per-iteration snapshot handed to Options.Progress.
 	IterStats = cpd.IterStats
+	// Tracer records timing spans into a bounded ring and exports them as a
+	// Chrome trace-event file (load in Perfetto or chrome://tracing). A nil
+	// Tracer is valid and records nothing.
+	Tracer = obs.Tracer
+	// Metrics is a registry of counters, gauges, and histograms exposed in
+	// Prometheus text format. A nil Metrics is valid and records nothing.
+	Metrics = obs.Registry
+	// MetricLabels is the label set attached to a metric series.
+	MetricLabels = obs.Labels
+	// DebugServer is the live HTTP debug endpoint (/metrics, /healthz,
+	// /debug/pprof/*, /run).
+	DebugServer = obs.Server
 )
 
 // Re-exported phase identifiers for reading RunStats.Phases.
@@ -189,6 +203,13 @@ type Options struct {
 	Progress func(IterStats) bool
 	// CollectStats attaches a per-phase RunStats breakdown to the Result.
 	CollectStats bool
+	// Tracer, when non-nil, records phase and per-mode MTTKRP spans for
+	// Chrome-trace export. Engines built by Decompose are instrumented
+	// automatically; with DecomposeWith, call Instrument yourself.
+	Tracer *Tracer
+	// Metrics, when non-nil, receives the run's counters, gauges, and
+	// latency histograms for /metrics scraping.
+	Metrics *Metrics
 }
 
 // Decompose computes a rank-R CP decomposition of x.
@@ -201,6 +222,7 @@ func Decompose(x *Tensor, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	Instrument(eng, opt.Tracer, opt.Metrics)
 	return DecomposeWith(x, eng, opt)
 }
 
@@ -221,8 +243,48 @@ func DecomposeWith(x *Tensor, eng Engine, opt Options) (*Result, error) {
 		Ctx:          opt.Ctx,
 		Progress:     opt.Progress,
 		CollectStats: opt.CollectStats,
+		Tracer:       opt.Tracer,
+		Metrics:      opt.Metrics,
 	})
 }
+
+// Instrument attaches a tracer and/or metrics registry to an engine that
+// supports it (all built-in engines do). Engines constructed inside
+// Decompose are instrumented automatically from Options; use this with
+// NewEngine + DecomposeWith. Both arguments may be nil. Call once per
+// engine: metric registration is idempotent per (name, labels) series, but
+// repeated calls with different registries only keep the first wiring for
+// callback-based gauges.
+func Instrument(eng Engine, tr *Tracer, reg *Metrics) {
+	if tr == nil && reg == nil {
+		return
+	}
+	if in, ok := eng.(engine.Instrumentable); ok {
+		in.Instrument(tr, reg)
+	}
+}
+
+// NewTracer builds a span tracer holding up to capacity completed spans
+// (capacity <= 0 selects the default of 65536). Attach it via
+// Options.Tracer and write the collected trace with WriteChromeTrace.
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewMetrics builds an empty metrics registry. Attach it via
+// Options.Metrics, serve it with ServeDebug, or render it with WriteTo.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// ServeDebug starts the HTTP debug server on addr (e.g. ":9090" or
+// "127.0.0.1:0") serving /metrics from reg, /healthz, /run, and
+// /debug/pprof/*. Close the returned server to stop it.
+func ServeDebug(addr string, reg *Metrics) (*DebugServer, error) {
+	return obs.Serve(addr, reg)
+}
+
+// TraceChunks routes per-chunk execution spans from the parallel scheduler
+// into tr (pass nil to disable). Chunk spans are the finest-grained and most
+// voluminous track; they are opt-in separately from Options.Tracer so phase-
+// level tracing stays cheap. The hook is process-global.
+func TraceChunks(tr *Tracer) { par.SetChunkTracer(tr) }
 
 // EngineConfig parameterizes NewEngine.
 type EngineConfig struct {

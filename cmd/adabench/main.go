@@ -19,22 +19,34 @@ import (
 	"strings"
 	"time"
 
+	"adatm"
 	"adatm/internal/exp"
+	"adatm/internal/obs"
+	"adatm/internal/par"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "run on ~8x smaller datasets")
-		expList  = flag.String("exp", "", "comma-separated experiment ids (default: all); known: "+strings.Join(exp.IDs(), ","))
-		markdown = flag.Bool("markdown", false, "render tables as markdown")
-		jsonOut  = flag.Bool("json", false, "render tables as JSON records")
-		pprofOut = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
-		traceOut = flag.String("trace", "", "write a runtime execution trace of the whole run to this file")
-		rank     = flag.Int("rank", 16, "CP rank for non-sweeping experiments")
-		workers  = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
-		seed     = flag.Int64("seed", 0, "dataset seed offset")
+		quick     = flag.Bool("quick", false, "run on ~8x smaller datasets")
+		expList   = flag.String("exp", "", "comma-separated experiment ids (default: all); known: "+strings.Join(exp.IDs(), ","))
+		markdown  = flag.Bool("markdown", false, "render tables as markdown")
+		jsonOut   = flag.Bool("json", false, "render tables as JSON records")
+		pprofOut  = flag.String("pprof", "", "write a CPU profile of the whole run to this file")
+		rtTrace   = flag.String("runtimetrace", "", "write a runtime execution trace of the whole run to this file")
+		traceOut  = flag.String("trace", "", "deprecated alias for -runtimetrace")
+		tracefile = flag.String("tracefile", "", "write a Chrome trace-event JSON of the suite's spans (load in Perfetto)")
+		listen    = flag.String("listen", "", "serve /metrics, /healthz, /run, /debug/pprof on this address while the suite runs")
+		rank      = flag.Int("rank", 16, "CP rank for non-sweeping experiments")
+		workers   = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
+		seed      = flag.Int64("seed", 0, "dataset seed offset")
 	)
 	flag.Parse()
+	if *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "adabench: -trace is deprecated; use -runtimetrace")
+		if *rtTrace == "" {
+			*rtTrace = *traceOut
+		}
+	}
 
 	if *pprofOut != "" {
 		f, err := os.Create(*pprofOut)
@@ -51,8 +63,8 @@ func main() {
 			f.Close()
 		}()
 	}
-	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
+	if *rtTrace != "" {
+		f, err := os.Create(*rtTrace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adabench:", err)
 			os.Exit(1)
@@ -65,6 +77,39 @@ func main() {
 			trace.Stop()
 			f.Close()
 		}()
+	}
+
+	var tracer *obs.Tracer
+	if *tracefile != "" {
+		tracer = obs.NewTracer(0)
+		tracer.SetTrackName(0, "main")
+		par.SetChunkTracer(tracer)
+		defer func() {
+			par.SetChunkTracer(nil)
+			f, err := os.Create(*tracefile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "adabench: trace export:", err)
+				return
+			}
+			if err := tracer.WriteChromeTrace(f); err != nil {
+				fmt.Fprintln(os.Stderr, "adabench: trace export:", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (load in Perfetto)\n", tracer.Len(), *tracefile)
+		}()
+	}
+	var srv *obs.Server
+	if *listen != "" {
+		reg := adatm.NewMetrics()
+		obs.RegisterRuntimeMetrics(reg)
+		var err error
+		srv, err = obs.Serve(*listen, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adabench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
 	}
 
 	cfg := exp.Config{Quick: *quick, Workers: *workers, Rank: *rank, Seed: *seed}
@@ -82,7 +127,15 @@ func main() {
 	}
 	for _, r := range runners {
 		start := time.Now()
+		if srv != nil {
+			srv.SetRun(map[string]any{"experiment": r.ID, "state": "running"})
+		}
+		sp := tracer.StartSpan("exp/"+r.ID, 0)
 		table := r.Run(cfg)
+		sp.End()
+		if srv != nil {
+			srv.SetRun(map[string]any{"experiment": r.ID, "state": "done", "elapsed_ms": time.Since(start).Milliseconds()})
+		}
 		switch {
 		case *jsonOut:
 			if err := table.JSON(os.Stdout); err != nil {

@@ -40,7 +40,11 @@ func main() {
 		fittrace  = flag.Bool("fittrace", false, "print the fit after every iteration")
 		jsonOut   = flag.Bool("json", false, "emit a JSON run report (with per-phase breakdown) to stdout")
 		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
-		traceOut  = flag.String("trace", "", "write a runtime execution trace to this file")
+		rtTrace   = flag.String("runtimetrace", "", "write a Go runtime execution trace to this file")
+		traceOut  = flag.String("trace", "", "deprecated alias for -runtimetrace")
+		tracefile = flag.String("tracefile", "", "write a Chrome trace-event JSON of CP-ALS spans (load in Perfetto)")
+		listen    = flag.String("listen", "", "serve /metrics, /healthz, /run, /debug/pprof on this address (e.g. :9090)")
+		hold      = flag.Bool("hold", false, "with -listen: keep the debug server up after the run until interrupted")
 		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 		progress  = flag.Bool("progress", false, "print per-iteration progress to stderr")
 		ridge     = flag.Float64("ridge", 0, "Tikhonov regularization weight")
@@ -55,11 +59,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *traceOut != "" {
+		fmt.Fprintln(os.Stderr, "cpd: -trace is deprecated; use -runtimetrace")
+		if *rtTrace == "" {
+			*rtTrace = *traceOut
+		}
+	}
 	budgetBytes, err := parseBytes(*budget)
 	if err != nil {
 		fatal(err)
 	}
-	stopProf, err := startProfiling(*pprofOut, *traceOut)
+	stopProf, err := startProfiling(*pprofOut, *rtTrace)
 	if err != nil {
 		fatal(err)
 	}
@@ -125,12 +135,17 @@ func main() {
 		return
 	}
 
+	obsst, err := setupObs(*tracefile, *listen, *hold, *workers)
+	if err != nil {
+		fatal(err)
+	}
 	opt := adatm.Options{
 		Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers,
 		Engine: adatm.EngineKind(*engName), MemoryBudget: budgetBytes, TrackFit: *fittrace,
 		Ridge: *ridge, NonNegative: *nonneg,
 		CollectStats: *jsonOut,
 	}
+	obsst.options(&opt)
 	if *timeout > 0 {
 		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 		defer cancel()
@@ -143,6 +158,7 @@ func main() {
 			return true
 		}
 	}
+	opt.Progress = obsst.progress(*engName, *rank, opt.Progress)
 	res, err := adatm.Decompose(x, opt)
 	if err != nil {
 		if res != nil && res.Stopped {
@@ -185,6 +201,7 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d factor files with prefix %s\n", len(res.Factors)+1, *outPfx)
 	}
+	obsst.finish(*engName, *rank, res)
 }
 
 func fatal(err error) {

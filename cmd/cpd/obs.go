@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"adatm"
+	"adatm/internal/obs"
+)
+
+// obsState bundles the optional observability wiring of one CLI run: the
+// span tracer behind -tracefile and the metrics registry + live debug
+// server behind -listen.
+type obsState struct {
+	tracer    *adatm.Tracer
+	metrics   *adatm.Metrics
+	server    *adatm.DebugServer
+	tracePath string
+	hold      bool
+	started   time.Time
+}
+
+// runSnapshot is the JSON payload served at /run, refreshed after every
+// completed ALS iteration and finalized when the run ends.
+type runSnapshot struct {
+	Engine    string  `json:"engine"`
+	Rank      int     `json:"rank"`
+	Iter      int     `json:"iter"`
+	Fit       float64 `json:"fit"`
+	FitDelta  float64 `json:"fit_delta"`
+	ElapsedMS int64   `json:"elapsed_ms"`
+	MTTKRPMS  int64   `json:"mttkrp_ms"`
+	Done      bool    `json:"done"`
+	Converged bool    `json:"converged"`
+}
+
+// setupObs builds the tracer/registry/server requested by the flags. Either
+// feature may be absent; a nil *obsState (no flags set) disables everything.
+func setupObs(tracePath, listen string, hold bool, workers int) (*obsState, error) {
+	if tracePath == "" && listen == "" {
+		return nil, nil
+	}
+	o := &obsState{tracePath: tracePath, hold: hold, started: time.Now()}
+	if tracePath != "" {
+		o.tracer = adatm.NewTracer(0)
+		o.tracer.SetTrackName(0, "main")
+		w := workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		for i := 1; i <= w; i++ {
+			o.tracer.SetTrackName(int32(i), fmt.Sprintf("worker %d", i))
+		}
+		adatm.TraceChunks(o.tracer)
+	}
+	if listen != "" {
+		o.metrics = adatm.NewMetrics()
+		obs.RegisterRuntimeMetrics(o.metrics)
+		srv, err := adatm.ServeDebug(listen, o.metrics)
+		if err != nil {
+			return nil, fmt.Errorf("debug server: %w", err)
+		}
+		o.server = srv
+		o.metrics.PublishExpvar("adatm")
+		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
+	}
+	return o, nil
+}
+
+// options fills the Tracer/Metrics fields of opt.
+func (o *obsState) options(opt *adatm.Options) {
+	if o == nil {
+		return
+	}
+	opt.Tracer = o.tracer
+	opt.Metrics = o.metrics
+}
+
+// progress wraps the per-iteration callback so /run always serves a live
+// snapshot, chaining to inner (which may be nil).
+func (o *obsState) progress(engName string, rank int, inner func(adatm.IterStats) bool) func(adatm.IterStats) bool {
+	if o == nil || o.server == nil {
+		return inner
+	}
+	return func(s adatm.IterStats) bool {
+		o.server.SetRun(runSnapshot{
+			Engine: engName, Rank: rank, Iter: s.Iter, Fit: s.Fit, FitDelta: s.FitDelta,
+			ElapsedMS: s.Elapsed.Milliseconds(), MTTKRPMS: s.MTTKRPTime.Milliseconds(),
+		})
+		if inner != nil {
+			return inner(s)
+		}
+		return true
+	}
+}
+
+// finish writes the Chrome trace file, publishes the final /run snapshot,
+// optionally holds the debug server open until SIGINT/SIGTERM, and shuts
+// the server down. Safe on a nil receiver and with a nil result.
+func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
+	if o == nil {
+		return
+	}
+	if o.tracer != nil {
+		adatm.TraceChunks(nil)
+		if err := writeTraceFile(o.tracePath, o.tracer); err != nil {
+			fmt.Fprintln(os.Stderr, "cpd: trace export:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %d trace events to %s (load in Perfetto)\n", o.tracer.Len(), o.tracePath)
+		}
+	}
+	if o.server != nil {
+		if res != nil {
+			o.server.SetRun(runSnapshot{
+				Engine: engName, Rank: rank, Iter: res.Iters, Fit: res.Fit,
+				ElapsedMS: time.Since(o.started).Milliseconds(), MTTKRPMS: res.MTTKRPTime.Milliseconds(),
+				Done: true, Converged: res.Converged,
+			})
+		}
+		if o.hold {
+			fmt.Fprintf(os.Stderr, "run finished; holding debug server on http://%s (interrupt to exit)\n", o.server.Addr())
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+			<-ch
+		}
+		o.server.Close()
+	}
+}
+
+func writeTraceFile(path string, tr *adatm.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

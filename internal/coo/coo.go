@@ -12,6 +12,7 @@ import (
 	"adatm/internal/dense"
 	"adatm/internal/engine"
 	"adatm/internal/kernel"
+	"adatm/internal/obs"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
@@ -49,6 +50,27 @@ func (e *Engine) Stats() engine.Stats {
 
 // ResetStats implements engine.Engine.
 func (e *Engine) ResetStats() { e.ctr.Reset() }
+
+// Instrument implements engine.Instrumentable. The COO kernel splits
+// nonzeros evenly across workers, so its chunk-imbalance gauge is the
+// definitional 1.0 — exported anyway so dashboards see every engine on the
+// same axis.
+func (e *Engine) Instrument(_ *obs.Tracer, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	engine.RegisterCommonMetrics(reg, e.Name(), &e.ctr)
+	l := obs.Labels{"engine": e.Name()}
+	reg.GaugeFunc("adatm_kernel_arena_bytes",
+		"Per-worker scratch arena backing bytes.", l,
+		func() float64 { return float64(e.arena.Bytes()) })
+	reg.CounterFunc("adatm_kernel_arena_grows_total",
+		"Arena backing-store reallocations.", l,
+		func() float64 { return float64(e.arena.Grows()) })
+	reg.GaugeFunc("adatm_par_chunk_imbalance_ratio",
+		"Worst heaviest-chunk/ideal-share ratio of the weighted schedules.", l,
+		func() float64 { return 1 })
+}
 
 // ensureStripes sizes the scatter lock pool from the actual output height
 // (next power of two, capped at 8192). Output heights differ per mode, so

@@ -17,6 +17,7 @@ import (
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/obs"
 	"adatm/internal/tensor"
 )
 
@@ -60,6 +61,12 @@ type Options struct {
 	// When false (the default) only the coarse MTTKRPTime/TotalTime
 	// stopwatches run and the overhead is near zero.
 	CollectStats bool
+	// Tracer, when non-nil, receives one span per ALS phase interval and per
+	// per-mode MTTKRP call, exportable as Chrome trace-event JSON.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives per-phase latency histograms and the
+	// iteration/fit run gauges (metric names adatm_cpd_*).
+	Metrics *obs.Registry
 }
 
 // epsMU guards the multiplicative-update denominator against division by
@@ -129,11 +136,10 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 
 	lambda := make([]float64, r)
 	res := &Result{Factors: factors}
-	var clock *phaseClock
 	if opt.CollectStats {
 		res.Stats = &RunStats{ModeMTTKRP: make([]PhaseStats, n)}
-		clock = &phaseClock{rs: res.Stats}
 	}
+	clock := newPhaseClock(res.Stats, opt.Tracer, opt.Metrics, n)
 
 	start := time.Now()
 
@@ -178,7 +184,7 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 	prevFit := math.Inf(-1)
 	lastMode := sweep[n-1]
 	for iter := 1; iter <= maxIters; iter++ {
-		if clock != nil && iter == 2 {
+		if res.Stats != nil && iter == 2 {
 			// Iteration 1 warms scratch buffers; steady state starts here.
 			runtime.ReadMemStats(&memBase)
 			memBased = true
@@ -203,14 +209,7 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 			res.MTTKRPTime += d
 			if clock != nil {
 				ops := eng.Stats().HadamardOps
-				ps := &res.Stats.Phases[PhaseMTTKRP]
-				ps.Time += d
-				ps.Count++
-				ps.Ops += ops - prevOps
-				mp := &res.Stats.ModeMTTKRP[mode]
-				mp.Time += d
-				mp.Count++
-				mp.Ops += ops - prevOps
+				clock.mttkrp(mode, d, ops-prevOps)
 				prevOps = ops
 			}
 
@@ -262,6 +261,7 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 		}
 		res.Iters = iter
 		res.Fit = fit
+		clock.iteration(fit)
 		if math.Abs(fit-prevFit) < tol {
 			res.Converged = true
 			break

@@ -1,0 +1,70 @@
+package cpd
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPhaseStringNames(t *testing.T) {
+	want := map[Phase]string{
+		PhaseSymbolic:  "symbolic",
+		PhaseMTTKRP:    "mttkrp",
+		PhaseGram:      "gram",
+		PhaseSolve:     "solve",
+		PhaseNormalize: "normalize",
+		PhaseFit:       "fit",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(p), p.String(), name)
+		}
+	}
+	if got := Phase(-1).String(); got != "unknown" {
+		t.Errorf("Phase(-1).String() = %q, want unknown", got)
+	}
+	if got := NumPhases.String(); got != "unknown" {
+		t.Errorf("NumPhases.String() = %q, want unknown", got)
+	}
+}
+
+func TestPhaseJSONRoundTrip(t *testing.T) {
+	for p := Phase(0); p < NumPhases; p++ {
+		b, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", p, err)
+		}
+		if want := `"` + p.String() + `"`; string(b) != want {
+			t.Errorf("marshal %v = %s, want %s", p, b, want)
+		}
+		var back Phase
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != p {
+			t.Errorf("round trip %v -> %v", p, back)
+		}
+		viaParse, err := ParsePhase(p.String())
+		if err != nil || viaParse != p {
+			t.Errorf("ParsePhase(%q) = %v, %v", p.String(), viaParse, err)
+		}
+	}
+}
+
+func TestPhaseJSONRejectsInvalid(t *testing.T) {
+	if _, err := json.Marshal(Phase(99)); err == nil {
+		t.Error("marshaling out-of-range phase succeeded")
+	}
+	if _, err := json.Marshal(NumPhases); err == nil {
+		t.Error("marshaling NumPhases succeeded")
+	}
+	var p Phase
+	if err := json.Unmarshal([]byte(`"warp-drive"`), &p); err == nil {
+		t.Error("unmarshaling unknown phase name succeeded")
+	}
+	if err := json.Unmarshal([]byte(`3`), &p); err == nil {
+		t.Error("unmarshaling a bare integer succeeded")
+	}
+	if _, err := ParsePhase("unknown"); err == nil {
+		t.Error(`ParsePhase("unknown") succeeded; "unknown" is not a canonical name`)
+	}
+}

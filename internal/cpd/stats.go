@@ -2,7 +2,10 @@ package cpd
 
 import (
 	"encoding/json"
+	"fmt"
 	"time"
+
+	"adatm/internal/obs"
 )
 
 // Phase identifies one stage of the CP-ALS loop in the per-phase run
@@ -39,12 +42,46 @@ var phaseNames = [NumPhases]string{
 	PhaseFit:       "fit",
 }
 
-// String returns the phase's report name.
+// String returns the phase's report name — the single canonical name source
+// shared by the -json report, span names, and metric labels.
 func (p Phase) String() string {
 	if p < 0 || p >= NumPhases {
 		return "unknown"
 	}
 	return phaseNames[p]
+}
+
+// ParsePhase resolves a report name back to its Phase.
+func ParsePhase(s string) (Phase, error) {
+	for p := Phase(0); p < NumPhases; p++ {
+		if phaseNames[p] == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("cpd: unknown phase %q", s)
+}
+
+// MarshalJSON renders the phase as its canonical name, so JSON reports never
+// leak the enum's integer values.
+func (p Phase) MarshalJSON() ([]byte, error) {
+	if p < 0 || p >= NumPhases {
+		return nil, fmt.Errorf("cpd: cannot marshal out-of-range phase %d", int(p))
+	}
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON parses a canonical phase name.
+func (p *Phase) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParsePhase(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
 }
 
 // PhaseStats accumulates one phase's cost over a run.
@@ -108,13 +145,48 @@ type IterStats struct {
 	MTTKRPTime time.Duration // cumulative MTTKRP time so far
 }
 
-// phaseClock attributes wall time to phases. A nil clock is valid and makes
-// every method a no-op, so the uninstrumented path costs one pointer test
-// per phase boundary and performs no time syscalls beyond the coarse
-// MTTKRP/total stopwatches that were always there.
+// phaseClock attributes wall time to phases and fans each interval out to
+// every enabled instrumentation sink: the RunStats breakdown (CollectStats),
+// the span tracer (Chrome trace export), and the per-phase latency
+// histograms of a metrics registry. Any subset may be nil. A nil clock is
+// valid and makes every method a no-op, so the uninstrumented path costs one
+// pointer test per phase boundary and performs no time syscalls beyond the
+// coarse MTTKRP/total stopwatches that were always there.
 type phaseClock struct {
-	rs   *RunStats
-	mark time.Time
+	rs        *RunStats // nil unless Options.CollectStats
+	tr        *obs.Tracer
+	hist      [NumPhases]*obs.Histogram
+	modeNames []string // tracer span names, one per mode ("mttkrp/mode<k>")
+	itersC    *obs.Counter
+	fitG      *obs.Gauge
+	mark      time.Time
+}
+
+// newPhaseClock builds the clock for the enabled sinks; returns nil when no
+// instrumentation is requested so the fast path stays a nil check.
+func newPhaseClock(rs *RunStats, tr *obs.Tracer, reg *obs.Registry, nModes int) *phaseClock {
+	if rs == nil && tr == nil && reg == nil {
+		return nil
+	}
+	c := &phaseClock{rs: rs, tr: tr}
+	if tr != nil {
+		c.modeNames = make([]string, nModes)
+		for m := range c.modeNames {
+			c.modeNames[m] = fmt.Sprintf("mttkrp/mode%d", m)
+		}
+	}
+	if reg != nil {
+		for p := Phase(0); p < NumPhases; p++ {
+			if p == PhaseSymbolic {
+				continue // engine-construction work, outside Run's clock
+			}
+			c.hist[p] = reg.Histogram("adatm_cpd_phase_seconds",
+				"CP-ALS phase latency.", obs.Labels{"phase": p.String()}, nil)
+		}
+		c.itersC = reg.Counter("adatm_cpd_iterations_total", "Completed ALS iterations.", nil)
+		c.fitG = reg.Gauge("adatm_cpd_fit", "Model fit after the latest iteration.", nil)
+	}
+	return c
 }
 
 // start begins a measurement interval.
@@ -131,7 +203,47 @@ func (c *phaseClock) tick(p Phase) {
 		return
 	}
 	now := time.Now()
-	c.rs.Phases[p].Time += now.Sub(c.mark)
-	c.rs.Phases[p].Count++
+	d := now.Sub(c.mark)
+	if c.rs != nil {
+		c.rs.Phases[p].Time += d
+		c.rs.Phases[p].Count++
+	}
+	c.hist[p].Observe(d.Seconds())
+	if c.tr != nil {
+		end := c.tr.Now()
+		c.tr.EmitRange(phaseNames[p], 0, end-d.Nanoseconds(), d.Nanoseconds())
+	}
 	c.mark = now
+}
+
+// mttkrp records one completed MTTKRP kernel call (timed by the caller's
+// stopwatch, which predates the clock) with its mode and op-unit delta.
+func (c *phaseClock) mttkrp(mode int, d time.Duration, ops int64) {
+	if c == nil {
+		return
+	}
+	if c.rs != nil {
+		ps := &c.rs.Phases[PhaseMTTKRP]
+		ps.Time += d
+		ps.Count++
+		ps.Ops += ops
+		mp := &c.rs.ModeMTTKRP[mode]
+		mp.Time += d
+		mp.Count++
+		mp.Ops += ops
+	}
+	c.hist[PhaseMTTKRP].Observe(d.Seconds())
+	if c.tr != nil {
+		end := c.tr.Now()
+		c.tr.EmitRange(c.modeNames[mode], 0, end-d.Nanoseconds(), d.Nanoseconds())
+	}
+}
+
+// iteration publishes the per-iteration run-level metrics.
+func (c *phaseClock) iteration(fit float64) {
+	if c == nil {
+		return
+	}
+	c.itersC.Inc()
+	c.fitG.Set(fit)
 }

@@ -1,0 +1,66 @@
+package csf
+
+import (
+	"adatm/internal/engine"
+	"adatm/internal/obs"
+	"adatm/internal/par"
+)
+
+// registerCSFMetrics wires the counters shared by both CSF engines: common
+// engine counters, summed arena footprint across the per-tree kernel states,
+// and the worst root-fiber chunk imbalance across the trees — the quantity
+// the leaf-count-weighted scheduler is supposed to pin near 1 even on
+// power-law fiber-size distributions.
+func registerCSFMetrics(reg *obs.Registry, name string, ctr *engine.Counters, trees []*Tensor, bounds [][]int, arenas func() int64, grows func() int64) {
+	if reg == nil {
+		return
+	}
+	engine.RegisterCommonMetrics(reg, name, ctr)
+	l := obs.Labels{"engine": name}
+	reg.GaugeFunc("adatm_kernel_arena_bytes",
+		"Per-worker scratch arena backing bytes.", l,
+		func() float64 { return float64(arenas()) })
+	reg.CounterFunc("adatm_kernel_arena_grows_total",
+		"Arena backing-store reallocations.", l,
+		func() float64 { return float64(grows()) })
+	worst := 1.0
+	for i, t := range trees {
+		if v := par.ImbalanceRatio(t.RootLeafPtr, bounds[i]); v > worst {
+			worst = v
+		}
+	}
+	reg.GaugeFunc("adatm_par_chunk_imbalance_ratio",
+		"Worst heaviest-chunk/ideal-share ratio of the weighted schedules.", l,
+		func() float64 { return worst })
+}
+
+// Instrument implements engine.Instrumentable for the all-mode engine.
+func (e *AllMode) Instrument(_ *obs.Tracer, reg *obs.Registry) {
+	bounds := make([][]int, len(e.states))
+	for i, s := range e.states {
+		bounds[i] = s.bounds
+	}
+	registerCSFMetrics(reg, e.Name(), &e.ctr, e.trees, bounds,
+		func() int64 {
+			var b int64
+			for _, s := range e.states {
+				b += s.arena.Bytes()
+			}
+			return b
+		},
+		func() int64 {
+			var g int64
+			for _, s := range e.states {
+				g += s.arena.Grows()
+			}
+			return g
+		})
+}
+
+// Instrument implements engine.Instrumentable for the single-tree engine.
+func (e *Single) Instrument(_ *obs.Tracer, reg *obs.Registry) {
+	registerCSFMetrics(reg, e.Name(), &e.ctr,
+		[]*Tensor{e.tree, e.tree}, [][]int{e.root.bounds, e.deep.bounds},
+		func() int64 { return e.root.arena.Bytes() + e.deep.arena.Bytes() },
+		func() int64 { return e.root.arena.Grows() + e.deep.arena.Grows() })
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"adatm/internal/dense"
+	"adatm/internal/obs"
 )
 
 // Stats aggregates the work and footprint counters of an engine.
@@ -59,6 +60,37 @@ type Engine interface {
 
 	// ResetStats zeroes the work counters (footprint counters persist).
 	ResetStats()
+}
+
+// Instrumentable is implemented by engines that can attach to the
+// observability layer: registering their counters with a metrics registry
+// and (where they have interesting internal structure, like the memoized
+// strategy tree) emitting spans into a tracer. Either argument may be nil;
+// engines must treat instrumentation as strictly additive — a nil tracer or
+// registry leaves the hot path at a pointer test.
+type Instrumentable interface {
+	Instrument(tr *obs.Tracer, reg *obs.Registry)
+}
+
+// RegisterCommonMetrics registers the work counters every engine shares —
+// Hadamard op units, MTTKRP call count, and cumulative in-kernel seconds —
+// as callback metrics reading the engine's atomic Counters. Labelled by
+// engine name so several engines can coexist in one registry. Safe to call
+// with a nil registry.
+func RegisterCommonMetrics(reg *obs.Registry, name string, c *Counters) {
+	if reg == nil {
+		return
+	}
+	l := obs.Labels{"engine": name}
+	reg.CounterFunc("adatm_engine_hadamard_ops_total",
+		"Fused multiply-add op units executed by the MTTKRP kernel.", l,
+		func() float64 { return float64(c.ops.Load()) })
+	reg.CounterFunc("adatm_engine_mttkrp_calls_total",
+		"Completed MTTKRP kernel invocations.", l,
+		func() float64 { return float64(c.calls.Load()) })
+	reg.CounterFunc("adatm_engine_mttkrp_seconds_total",
+		"Wall-clock seconds spent inside the MTTKRP kernel.", l,
+		func() float64 { return float64(c.ns.Load()) / 1e9 })
 }
 
 // CheckInputs validates the MTTKRP contract shared by every engine against

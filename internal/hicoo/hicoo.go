@@ -19,6 +19,7 @@ import (
 	"adatm/internal/dense"
 	"adatm/internal/engine"
 	"adatm/internal/kernel"
+	"adatm/internal/obs"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
@@ -166,6 +167,31 @@ func (e *Engine) Stats() engine.Stats {
 
 // ResetStats implements engine.Engine.
 func (e *Engine) ResetStats() { e.ctr.Reset() }
+
+// Instrument implements engine.Instrumentable. The block schedule is
+// immutable after construction, so the imbalance of the element-weighted
+// block chunking is computed once here and exported as a constant gauge.
+func (e *Engine) Instrument(_ *obs.Tracer, reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	engine.RegisterCommonMetrics(reg, e.Name(), &e.ctr)
+	l := obs.Labels{"engine": e.Name()}
+	reg.GaugeFunc("adatm_kernel_arena_bytes",
+		"Per-worker scratch arena backing bytes.", l,
+		func() float64 { return float64(e.arena.Bytes()) })
+	reg.CounterFunc("adatm_kernel_arena_grows_total",
+		"Arena backing-store reallocations.", l,
+		func() float64 { return float64(e.arena.Grows()) })
+	prefix := make([]int64, len(e.t.BPtr))
+	for i, p := range e.t.BPtr {
+		prefix[i] = int64(p)
+	}
+	imb := par.ImbalanceRatio(prefix, e.chunks)
+	reg.GaugeFunc("adatm_par_chunk_imbalance_ratio",
+		"Worst heaviest-chunk/ideal-share ratio of the weighted schedules.", l,
+		func() float64 { return imb })
+}
 
 // MTTKRP implements engine.Engine. Within a block, every element's factor
 // row lives inside one 128-row window per mode, which is where the format's

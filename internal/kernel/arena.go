@@ -1,5 +1,7 @@
 package kernel
 
+import "sync/atomic"
+
 // Arena is a set of per-worker scratch R-vectors backed by one contiguous
 // allocation, sized once (workers × slots × R) and reused across every
 // MTTKRP call of an engine. Engines create the arena at construction with
@@ -16,6 +18,11 @@ type Arena struct {
 	slots   int
 	r       int
 	data    []float64
+	// bytes mirrors cap(data)*8 and grows counts backing reallocations, both
+	// atomically: a live /metrics scrape reads them concurrently with the
+	// (single-threaded) EnsureRank mutation of data itself.
+	bytes atomic.Int64
+	grows atomic.Int64
 }
 
 // NewArena creates an arena for the given worker count and per-worker slot
@@ -51,6 +58,8 @@ func (a *Arena) EnsureRank(r int) {
 		a.data = a.data[:need]
 	} else {
 		a.data = make([]float64, need)
+		a.bytes.Store(int64(cap(a.data)) * 8)
+		a.grows.Add(1)
 	}
 	a.r = r
 }
@@ -63,5 +72,11 @@ func (a *Arena) Buf(w, s int) []float64 {
 	return a.data[base : base+a.r : base+a.r]
 }
 
-// Bytes reports the backing storage size of the arena.
-func (a *Arena) Bytes() int64 { return int64(cap(a.data)) * 8 }
+// Bytes reports the backing storage size of the arena. Safe to call from a
+// metrics scrape concurrent with EnsureRank.
+func (a *Arena) Bytes() int64 { return a.bytes.Load() }
+
+// Grows reports how many times EnsureRank reallocated the backing store —
+// a steady state has exactly one growth per rank high-water mark; more means
+// the arena is thrashing. Safe to call concurrently.
+func (a *Arena) Grows() int64 { return a.grows.Load() }

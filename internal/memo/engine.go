@@ -2,11 +2,14 @@ package memo
 
 import (
 	"fmt"
+	"strconv"
+	"sync/atomic"
 	"time"
 
 	"adatm/internal/dense"
 	"adatm/internal/engine"
 	"adatm/internal/kernel"
+	"adatm/internal/obs"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
@@ -46,9 +49,23 @@ type Engine struct {
 
 	ctr        engine.Counters
 	idxBytes   int64
-	curValB    int64
-	peakValB   int64
+	curValB    atomic.Int64
+	peakValB   atomic.Int64
 	symbolicNS int64
+
+	// Memoization effectiveness counters: a hit is an ensure request served
+	// by an already-materialized node, a miss is a node (re)build, an
+	// eviction is a cached node dropped by invalidation. Atomic so a live
+	// /metrics scrape can read them mid-run; the mutating paths are the
+	// single-threaded kernel entry, so the adds never contend.
+	hits   atomic.Int64
+	misses atomic.Int64
+	evicts atomic.Int64
+
+	// tr, when non-nil, receives one span per node rebuild (named at
+	// instrumentation time in spanNames, indexed like all).
+	tr        *obs.Tracer
+	spanNames []string
 }
 
 // New builds the engine for the given strategy. name labels the engine in
@@ -110,12 +127,67 @@ func (e *Engine) Name() string { return e.name }
 func (e *Engine) Stats() engine.Stats {
 	s := engine.Stats{
 		IndexBytes:     e.idxBytes,
-		ValueBytes:     e.curValB,
-		PeakValueBytes: e.peakValB,
+		ValueBytes:     e.curValB.Load(),
+		PeakValueBytes: e.peakValB.Load(),
 		SymbolicNS:     e.symbolicNS,
 	}
 	e.ctr.Fill(&s)
 	return s
+}
+
+// MemoStats reports the memoization effectiveness counters: ensure requests
+// served from cache (hits), node (re)builds (misses), and cached nodes
+// dropped by invalidation (evictions).
+func (e *Engine) MemoStats() (hits, misses, evictions int64) {
+	return e.hits.Load(), e.misses.Load(), e.evicts.Load()
+}
+
+// Instrument implements engine.Instrumentable: the memoization counters and
+// live value-storage gauge go to the registry, and node rebuilds are spanned
+// in the tracer (named memo.rebuild[lo:hi) after each node's mode range).
+// The worst per-node chunk imbalance of the reduction schedule is exported
+// as a gauge — the number the weighted scheduler exists to keep near 1.
+func (e *Engine) Instrument(tr *obs.Tracer, reg *obs.Registry) {
+	if tr != nil {
+		e.spanNames = make([]string, len(e.all))
+		for i, t := range e.all {
+			e.spanNames[i] = "memo.rebuild[" + strconv.Itoa(t.lo) + ":" + strconv.Itoa(t.hi) + ")"
+			t.id = i
+		}
+		e.tr = tr
+	}
+	if reg == nil {
+		return
+	}
+	engine.RegisterCommonMetrics(reg, e.name, &e.ctr)
+	l := obs.Labels{"engine": e.name}
+	reg.CounterFunc("adatm_memo_hits_total",
+		"Memoized-node requests served from cache.", l,
+		func() float64 { return float64(e.hits.Load()) })
+	reg.CounterFunc("adatm_memo_misses_total",
+		"Memoized-node requests that (re)built the node.", l,
+		func() float64 { return float64(e.misses.Load()) })
+	reg.CounterFunc("adatm_memo_evictions_total",
+		"Cached nodes dropped by factor invalidation.", l,
+		func() float64 { return float64(e.evicts.Load()) })
+	reg.GaugeFunc("adatm_memo_value_bytes",
+		"Live semi-sparse value storage of the strategy tree.", l,
+		func() float64 { return float64(e.curValB.Load()) })
+	reg.GaugeFunc("adatm_memo_peak_value_bytes",
+		"Peak simultaneously live value storage.", l,
+		func() float64 { return float64(e.peakValB.Load()) })
+	worst := 1.0
+	for _, t := range e.all {
+		if t.parent == nil {
+			continue
+		}
+		if v := par.ImbalanceRatio(t.redPtr, t.chunks); v > worst {
+			worst = v
+		}
+	}
+	reg.GaugeFunc("adatm_par_chunk_imbalance_ratio",
+		"Worst heaviest-chunk/ideal-share ratio of the weighted schedules.", l,
+		func() float64 { return worst })
 }
 
 // ResetStats implements engine.Engine.
@@ -142,9 +214,10 @@ func (e *Engine) invalidateAll() {
 
 func (e *Engine) free(t *node) {
 	if !e.retain {
-		e.curValB -= int64(t.nelem) * int64(e.rank) * 8
+		e.curValB.Add(-int64(t.nelem) * int64(e.rank) * 8)
 	}
 	t.vals = nil
+	e.evicts.Add(1)
 }
 
 func (e *Engine) alloc(t *node, r int) {
@@ -158,15 +231,15 @@ func (e *Engine) alloc(t *node, r int) {
 			return
 		}
 		// Replacing retained storage (rank grew): swap the accounting.
-		e.curValB -= int64(cap(t.buf)) * 8
+		e.curValB.Add(-int64(cap(t.buf)) * 8)
 	}
 	t.vals = dense.New(t.nelem, r)
 	if e.retain {
 		t.buf = t.vals.Data
 	}
-	e.curValB += int64(need) * 8
-	if e.curValB > e.peakValB {
-		e.peakValB = e.curValB
+	cur := e.curValB.Add(int64(need) * 8)
+	if cur > e.peakValB.Load() {
+		e.peakValB.Store(cur)
 	}
 }
 
@@ -193,14 +266,26 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) er
 	return nil
 }
 
-// ensure materializes t.vals (recursively materializing ancestors first).
+// ensure materializes t.vals (recursively materializing ancestors first),
+// counting cache hits and (re)build misses and spanning each rebuild.
 func (e *Engine) ensure(t *node, factors []*dense.Matrix, r int) {
-	if t.vals != nil || t.parent == nil {
+	if t.parent == nil {
 		return
 	}
+	if t.vals != nil {
+		e.hits.Add(1)
+		return
+	}
+	e.misses.Add(1)
 	p := t.parent
 	e.ensure(p, factors, r)
 	e.alloc(t, r)
+	if e.tr != nil {
+		sp := e.tr.StartSpan(e.spanNames[t.id], 0)
+		e.compute(t, factors, r, t.vals, nil)
+		sp.End()
+		return
+	}
 	e.compute(t, factors, r, t.vals, nil)
 }
 

@@ -1,0 +1,131 @@
+package memo
+
+import (
+	"strings"
+	"testing"
+
+	"adatm/internal/dense"
+	"adatm/internal/obs"
+	"adatm/internal/tensor"
+)
+
+// TestMemoCountersAcrossSweeps pins the hit/miss/eviction semantics: a cold
+// sweep only misses, an identical re-sweep only hits, and a factor update
+// evicts the dependent subtrees so the next sweep misses again.
+func TestMemoCountersAcrossSweeps(t *testing.T) {
+	x := tensor.RandomClustered(4, 10, 500, 0.8, 7)
+	e, err := New(x, Balanced(4), 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := randomFactors(x, 4, 9)
+	sweep := func() {
+		for mode := 0; mode < 4; mode++ {
+			out := dense.New(x.Dims[mode], 4)
+			if err := e.MTTKRP(mode, fs, out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	sweep()
+	hits, misses, evicts := e.MemoStats()
+	if misses == 0 {
+		t.Fatal("cold sweep recorded no misses")
+	}
+	if evicts != 0 {
+		t.Fatalf("cold sweep recorded %d evictions, want 0", evicts)
+	}
+
+	sweep()
+	h2, m2, _ := e.MemoStats()
+	if h2 <= hits {
+		t.Errorf("identical re-sweep recorded no cache hits (%d -> %d)", hits, h2)
+	}
+	if m2 != misses {
+		t.Errorf("identical re-sweep rebuilt nodes: misses %d -> %d", misses, m2)
+	}
+
+	e.FactorUpdated(0)
+	_, _, ev := e.MemoStats()
+	if ev == 0 {
+		t.Error("FactorUpdated(0) evicted nothing")
+	}
+	sweep()
+	_, m3, _ := e.MemoStats()
+	if m3 <= m2 {
+		t.Error("sweep after invalidation recorded no rebuild misses")
+	}
+}
+
+// TestMemoInstrument exercises the full instrumentation wiring: rebuild
+// spans land in the tracer and the registry exposes the memo counter and
+// gauge families with the engine label.
+func TestMemoInstrument(t *testing.T) {
+	x := tensor.RandomClustered(4, 10, 500, 0.8, 11)
+	e, err := New(x, Balanced(4), 1, "memo-balanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.NewTracer(1024)
+	reg := obs.NewRegistry()
+	e.Instrument(tr, reg)
+	fs := randomFactors(x, 4, 13)
+	for mode := 0; mode < 4; mode++ {
+		out := dense.New(x.Dims[mode], 4)
+		if err := e.MTTKRP(mode, fs, out); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if tr.Len() == 0 {
+		t.Fatal("instrumented run emitted no spans")
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "memo.rebuild[") {
+		t.Error("trace export contains no memo.rebuild spans")
+	}
+
+	sb.Reset()
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"adatm_memo_hits_total",
+		"adatm_memo_misses_total",
+		"adatm_memo_evictions_total",
+		"adatm_memo_value_bytes",
+		"adatm_memo_peak_value_bytes",
+		"adatm_engine_mttkrp_calls_total",
+		"adatm_par_chunk_imbalance_ratio",
+		`engine="memo-balanced"`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics output missing %s", want)
+		}
+	}
+}
+
+// TestInstrumentNilSinks is the safety contract: instrumenting with nil
+// tracer/registry must be a no-op, not a panic, and must not enable the
+// span path.
+func TestInstrumentNilSinks(t *testing.T) {
+	x := tensor.RandomUniform(3, 8, 200, 17)
+	e, err := New(x, Flat(3), 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Instrument(nil, nil)
+	if e.tr != nil {
+		t.Fatal("nil instrumentation enabled the tracer path")
+	}
+	fs := randomFactors(x, 3, 19)
+	out := dense.New(x.Dims[0], 3)
+	if err := e.MTTKRP(0, fs, out); err != nil {
+		t.Fatal(err)
+	}
+}

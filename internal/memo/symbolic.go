@@ -51,6 +51,10 @@ type node struct {
 	deltaIdx [][]tensor.Index
 	facBuf   []*dense.Matrix
 	chunks   []int
+
+	// id is the node's index in the engine's pre-order list, assigned at
+	// instrumentation time to address the per-node rebuild span names.
+	id int
 }
 
 // buildTree materializes the symbolic structure for every strategy node,

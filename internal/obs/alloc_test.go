@@ -1,0 +1,49 @@
+// Allocation regression suite for the observability layer itself: the
+// disabled (nil) path must compile down to a pointer test, and the enabled
+// hot-path operations — span emission into a warm ring, counter/gauge/
+// histogram observation — must not allocate either, so instrumentation can
+// sit inside the engines' steady-state zero-alloc kernels.
+package obs
+
+import "testing"
+
+func TestNilInstrumentationZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	var reg *Registry
+	c := reg.Counter("x_total", "", nil)
+	g := reg.Gauge("x", "", nil)
+	h := reg.Histogram("x_seconds", "", nil, []float64{1})
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.StartSpan("kernel", 0)
+		tr.EmitRange("phase", 0, 0, 1)
+		sp.End()
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(1)
+		h.Observe(0.5)
+		_ = tr.Now()
+	})
+	if allocs != 0 {
+		t.Errorf("nil-instrumentation path: %v allocs, want 0", allocs)
+	}
+}
+
+func TestEnabledInstrumentationZeroAlloc(t *testing.T) {
+	tr := NewTracer(256)
+	reg := NewRegistry()
+	c := reg.Counter("x_total", "", nil)
+	g := reg.Gauge("x", "", nil)
+	h := reg.Histogram("x_seconds", "", nil, []float64{0.001, 1})
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.StartSpan("kernel", 1)
+		sp.End()
+		tr.EmitRange("phase", 0, tr.Now(), 10)
+		c.Inc()
+		g.Set(2)
+		h.Observe(0.01)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled-instrumentation path: %v allocs, want 0", allocs)
+	}
+}

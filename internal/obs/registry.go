@@ -1,0 +1,493 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metric naming convention (DESIGN.md §2d): adatm_<pkg>_<name>_<unit>, e.g.
+// adatm_memo_hits_total, adatm_cpd_phase_seconds, adatm_kernel_arena_bytes.
+
+// Labels attaches Prometheus label pairs to a metric series. Keys and values
+// may contain any bytes; the exposition writer escapes them.
+type Labels map[string]string
+
+// Counter is a monotonically increasing metric backed by one atomic int64.
+// A nil *Counter (from a nil registry) no-ops.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add accumulates n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c != nil && n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable float64 metric (atomic bit-pattern storage). A nil
+// *Gauge no-ops.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add accumulates a delta with a CAS loop.
+func (g *Gauge) Add(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric. Buckets are cumulative
+// only at exposition time; observation is one binary search plus two atomic
+// adds, allocation-free and safe from any goroutine. Non-finite observations
+// (NaN, ±Inf) are rejected and counted in Rejected, so the exposed _sum can
+// never be poisoned into NaN/Inf. A nil *Histogram no-ops.
+type Histogram struct {
+	bounds   []float64 // ascending upper bounds, excluding +Inf
+	buckets  []atomic.Int64
+	inf      atomic.Int64
+	count    atomic.Int64
+	sumBits  atomic.Uint64
+	rejected atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.rejected.Add(1)
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound with v <= bound
+	if i < len(h.bounds) {
+		h.buckets[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of accepted observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of accepted observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Rejected returns the number of non-finite observations dropped.
+func (h *Histogram) Rejected() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.rejected.Load()
+}
+
+// LatencyBuckets returns the default log-scaled latency bounds in seconds:
+// powers of two from 1 µs to ~33 s. Log scaling keeps the bucket count small
+// while spanning the six orders of magnitude between a single chunk and a
+// full decomposition.
+func LatencyBuckets() []float64 {
+	out := make([]float64, 26)
+	b := 1e-6
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one registered time series (a family member with fixed labels).
+type series struct {
+	labelStr string // pre-rendered, escaped {k="v",...} (empty for no labels)
+	labels   Labels
+	c        *Counter
+	g        *Gauge
+	h        *Histogram
+	fn       func() float64 // callback counters/gauges
+}
+
+// family groups the series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	series map[string]*series // by labelStr
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Registration is idempotent: re-registering the same
+// name+labels returns the existing collector, so engines can be instrumented
+// repeatedly (reruns, retries) without double counting. Registering an
+// existing name with a different kind panics — that is a programming error,
+// not a runtime condition.
+//
+// A nil *Registry is valid: registration methods return nil collectors
+// (whose methods no-op) and WriteTo writes nothing.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels builds the deterministic, escaped {k="v",...} suffix: keys
+// sorted, values escaped per the exposition format.
+func renderLabels(l Labels) string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l[k]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double-quote, and newline.
+func escapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string (backslash and newline only).
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// register resolves (name, labels) to its series, creating family and series
+// on first sight. Returns nil on a nil registry.
+func (r *Registry) register(name, help string, kind metricKind, labels Labels, mk func() *series) *series {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s, was %s", name, kind, f.kind))
+	}
+	key := renderLabels(labels)
+	if s := f.series[key]; s != nil {
+		return s
+	}
+	s := mk()
+	s.labelStr = key
+	s.labels = labels
+	f.series[key] = s
+	return s
+}
+
+// Counter registers (or returns) the counter series name{labels}.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	s := r.register(name, help, kindCounter, labels, func() *series { return &series{c: &Counter{}} })
+	if s == nil {
+		return nil
+	}
+	return s.c
+}
+
+// Gauge registers (or returns) the gauge series name{labels}.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	s := r.register(name, help, kindGauge, labels, func() *series { return &series{g: &Gauge{}} })
+	if s == nil {
+		return nil
+	}
+	return s.g
+}
+
+// Histogram registers (or returns) the histogram series name{labels} with
+// the given ascending bucket bounds (nil selects LatencyBuckets). Non-finite
+// bounds panic at registration — they would corrupt the cumulative buckets.
+func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets()
+	}
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q bound %d is not finite", name, i))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+	s := r.register(name, help, kindHistogram, labels, func() *series {
+		bb := make([]float64, len(bounds))
+		copy(bb, bounds)
+		return &series{h: &Histogram{bounds: bb, buckets: make([]atomic.Int64, len(bb))}}
+	})
+	if s == nil {
+		return nil
+	}
+	return s.h
+}
+
+// CounterFunc registers a counter whose value is read from fn at exposition
+// time. fn must be safe to call from any goroutine (read atomics only) and
+// must be monotonically non-decreasing.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, kindCounter, labels, func() *series { return &series{fn: fn} })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at exposition
+// time. fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	r.register(name, help, kindGauge, labels, func() *series { return &series{fn: fn} })
+}
+
+// formatValue renders a sample value the way Prometheus expects: shortest
+// round-trip representation, +Inf/-Inf spelled out.
+func formatValue(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format
+// (version 0.0.4). Output is deterministic: families sorted by name, series
+// sorted by rendered label string. Implements io.WriterTo.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	if r == nil {
+		return 0, nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch {
+			case f.kind == kindHistogram:
+				writeHistogram(&b, f.name, s)
+			case s.fn != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labelStr, formatValue(s.fn()))
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labelStr, formatValue(float64(s.c.Value())))
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labelStr, formatValue(s.g.Value()))
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// writeHistogram renders one histogram series: cumulative le-labeled
+// buckets, then _sum and _count.
+func writeHistogram(b *strings.Builder, name string, s *series) {
+	h := s.h
+	// Splice le into the existing label string.
+	open := "{"
+	closeRest := "}"
+	if s.labelStr != "" {
+		open = s.labelStr[:len(s.labelStr)-1] + ","
+		closeRest = "}"
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		fmt.Fprintf(b, "%s_bucket%sle=%q%s %d\n", name, open, formatValue(bound), closeRest, cum)
+	}
+	cum += h.inf.Load()
+	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"%s %d\n", name, open, closeRest, cum)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labelStr, formatValue(h.Sum()))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labelStr, h.count.Load())
+}
+
+// Snapshot returns a flat name{labels} → value map of every series
+// (histograms contribute _sum and _count entries). This is the expvar bridge
+// payload and a convenient test probe.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := make(map[string]float64)
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	for _, f := range fams {
+		for _, s := range f.series {
+			switch {
+			case f.kind == kindHistogram:
+				out[f.name+"_sum"+s.labelStr] = s.h.Sum()
+				out[f.name+"_count"+s.labelStr] = float64(s.h.Count())
+			case s.fn != nil:
+				out[f.name+s.labelStr] = s.fn()
+			case s.c != nil:
+				out[f.name+s.labelStr] = float64(s.c.Value())
+			case s.g != nil:
+				out[f.name+s.labelStr] = s.g.Value()
+			}
+		}
+	}
+	return out
+}
+
+// ExpvarFunc returns the registry as an expvar.Func for use with
+// expvar.Publish or a /debug/vars-style endpoint.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any { return r.Snapshot() }
+}
+
+// published guards PublishExpvar against the expvar.Publish duplicate-name
+// panic across repeated calls (e.g. tests).
+var published sync.Map
+
+// PublishExpvar publishes the registry under the given expvar name,
+// idempotently: the first call wins, later calls (even from other
+// registries) are ignored rather than panicking.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	if _, loaded := published.LoadOrStore(name, true); loaded {
+		return
+	}
+	expvar.Publish(name, r.ExpvarFunc())
+}

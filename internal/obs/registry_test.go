@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func expose(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("adatm_memo_hits_total", "Cached subtree reuses.", Labels{"engine": "memo-balanced"})
+	c.Add(3)
+	c.Inc()
+	c.Add(-5) // ignored: counters only go up
+	g := r.Gauge("adatm_kernel_arena_bytes", "Arena backing bytes.", nil)
+	g.Set(4096)
+	out := expose(t, r)
+	for _, want := range []string{
+		"# HELP adatm_memo_hits_total Cached subtree reuses.",
+		"# TYPE adatm_memo_hits_total counter",
+		`adatm_memo_hits_total{engine="memo-balanced"} 4`,
+		"# TYPE adatm_kernel_arena_bytes gauge",
+		"adatm_kernel_arena_bytes 4096",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "", Labels{"path": `a\b"c` + "\nd"}).Inc()
+	out := expose(t, r)
+	want := `m_total{path="a\\b\"c\nd"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("escaped series %q not found in:\n%s", want, out)
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_total", "line one\nline \\ two", nil)
+	out := expose(t, r)
+	if !strings.Contains(out, `# HELP m_total line one\nline \\ two`) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	// Register in scrambled order; exposition must sort families by name and
+	// series by label string so scrapes diff cleanly.
+	r := NewRegistry()
+	r.Counter("zzz_total", "", nil).Inc()
+	r.Gauge("aaa_bytes", "", Labels{"engine": "csf"}).Set(1)
+	r.Gauge("aaa_bytes", "", Labels{"engine": "coo"}).Set(2)
+	r.Counter("mmm_total", "", nil)
+	first := expose(t, r)
+	for i := 0; i < 10; i++ {
+		if got := expose(t, r); got != first {
+			t.Fatalf("exposition not deterministic:\n%s\nvs\n%s", got, first)
+		}
+	}
+	ia := strings.Index(first, "aaa_bytes")
+	im := strings.Index(first, "mmm_total")
+	iz := strings.Index(first, "zzz_total")
+	if !(ia < im && im < iz) {
+		t.Errorf("families not name-sorted: aaa@%d mmm@%d zzz@%d", ia, im, iz)
+	}
+	if coo, csf := strings.Index(first, `engine="coo"`), strings.Index(first, `engine="csf"`); coo > csf {
+		t.Errorf("series not label-sorted: coo@%d csf@%d", coo, csf)
+	}
+}
+
+func TestHistogramRejectsNonFinite(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", nil, []float64{0.001, 0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(math.NaN())
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(0.05)
+	if got := h.Count(); got != 2 {
+		t.Errorf("count = %d, want 2 (non-finite rejected)", got)
+	}
+	if got := h.Rejected(); got != 3 {
+		t.Errorf("rejected = %d, want 3", got)
+	}
+	if s := h.Sum(); math.IsNaN(s) || math.IsInf(s, 0) || math.Abs(s-0.055) > 1e-12 {
+		t.Errorf("sum = %v, want 0.055", s)
+	}
+	out := expose(t, r)
+	if strings.Contains(out, "NaN") || strings.Contains(strings.Replace(out, `le="+Inf"`, "", -1), "Inf") {
+		t.Errorf("non-finite value leaked into exposition:\n%s", out)
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", Labels{"phase": "solve"}, []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	out := expose(t, r)
+	for _, want := range []string{
+		`lat_seconds_bucket{phase="solve",le="1"} 2`, // le is inclusive
+		`lat_seconds_bucket{phase="solve",le="10"} 3`,
+		`lat_seconds_bucket{phase="solve",le="100"} 4`,
+		`lat_seconds_bucket{phase="solve",le="+Inf"} 5`,
+		`lat_seconds_sum{phase="solve"} 556.5`,
+		`lat_seconds_count{phase="solve"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bounds := range [][]float64{{1, math.NaN()}, {1, math.Inf(1)}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bounds %v: no panic", bounds)
+				}
+			}()
+			r.Histogram("bad_seconds", "", nil, bounds)
+		}()
+	}
+}
+
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "", Labels{"engine": "coo"})
+	b := r.Counter("c_total", "", Labels{"engine": "coo"})
+	if a != b {
+		t.Error("re-registration returned a distinct counter")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registered counter does not share state")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("c_total", "", nil)
+}
+
+func TestNilRegistryAndCollectors(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "", nil)
+	c.Inc()
+	c.Add(5)
+	g := r.Gauge("x", "", nil)
+	g.Set(1)
+	g.Add(2)
+	var h *Histogram
+	h = r.Histogram("x_seconds", "", nil, nil)
+	h.Observe(1)
+	r.CounterFunc("f_total", "", nil, func() float64 { return 1 })
+	r.GaugeFunc("f", "", nil, func() float64 { return 1 })
+	if n, err := r.WriteTo(&strings.Builder{}); n != 0 || err != nil {
+		t.Errorf("nil WriteTo = (%d, %v)", n, err)
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Error("nil Snapshot not empty")
+	}
+	r.PublishExpvar("nil-reg")
+}
+
+func TestFuncMetricsAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	v := 41.0
+	r.CounterFunc("fn_total", "from callback", Labels{"k": "v"}, func() float64 { return v })
+	v = 42
+	out := expose(t, r)
+	if !strings.Contains(out, `fn_total{k="v"} 42`) {
+		t.Errorf("func counter not read at exposition:\n%s", out)
+	}
+	h := r.Histogram("h_seconds", "", nil, []float64{1})
+	h.Observe(0.5)
+	snap := r.Snapshot()
+	if snap[`fn_total{k="v"}`] != 42 || snap["h_seconds_count"] != 1 || snap["h_seconds_sum"] != 0.5 {
+		t.Errorf("snapshot = %v", snap)
+	}
+}
+
+func TestConcurrentObservation(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h_seconds", "", nil, []float64{0.5})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("c=%d g=%v h=%d, want 8000 each", c.Value(), g.Value(), h.Count())
+	}
+	if math.Abs(h.Sum()-2000) > 1e-9 {
+		t.Errorf("histogram sum = %v, want 2000", h.Sum())
+	}
+}

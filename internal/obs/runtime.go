@@ -1,0 +1,32 @@
+package obs
+
+import "runtime"
+
+// RegisterRuntimeMetrics exports process-level Go runtime gauges into reg:
+// heap footprint, goroutine count, and GC activity. ReadMemStats stops the
+// world briefly, so these are callback metrics evaluated per scrape, not on
+// the compute path. Safe on a nil registry.
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	mem := func(pick func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return pick(&ms)
+		}
+	}
+	reg.GaugeFunc("adatm_go_heap_alloc_bytes", "Live heap bytes.", nil,
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapAlloc) }))
+	reg.GaugeFunc("adatm_go_heap_sys_bytes", "Heap bytes obtained from the OS.", nil,
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.HeapSys) }))
+	reg.CounterFunc("adatm_go_gc_cycles_total", "Completed GC cycles.", nil,
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.NumGC) }))
+	reg.CounterFunc("adatm_go_alloc_bytes_total", "Cumulative heap bytes allocated.", nil,
+		mem(func(ms *runtime.MemStats) float64 { return float64(ms.TotalAlloc) }))
+	reg.GaugeFunc("adatm_go_goroutines", "Current goroutine count.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("adatm_go_maxprocs", "GOMAXPROCS at scrape time.", nil,
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+}

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the live debug endpoint: /metrics (Prometheus text format),
+// /healthz, /run (JSON snapshot of the in-flight run), /debug/pprof/* and
+// /debug/vars. It binds immediately (addr ":0" picks a free port — read the
+// resolved one back from Addr) and serves until Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+	reg *Registry
+	run atomic.Value // latest SetRun payload (any JSON-marshalable value)
+}
+
+// Serve binds addr and starts serving the debug endpoints in a background
+// goroutine. reg may be nil (the /metrics endpoint then renders empty).
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, reg: reg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed after Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the resolved port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// SetRun publishes the latest run snapshot served at /run. The value must be
+// JSON-marshalable; it is marshaled at request time, so pass immutable
+// snapshots, not live mutable state.
+func (s *Server) SetRun(v any) { s.run.Store(v) }
+
+// Close shuts the server down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteTo(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n")) //nolint:errcheck
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	v := s.run.Load()
+	if v == nil {
+		w.Write([]byte("{}\n")) //nolint:errcheck
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("adatm_memo_hits_total", "hits", Labels{"engine": "memo"}).Add(7)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 || !strings.Contains(body, `adatm_memo_hits_total{engine="memo"} 7`) {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	// /run before any snapshot: empty object, still valid JSON.
+	code, body = get(t, base+"/run")
+	if code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Errorf("/run (empty) = %d %q", code, body)
+	}
+	srv.SetRun(map[string]any{"iter": 3, "fit": 0.5})
+	_, body = get(t, base+"/run")
+	var snap map[string]any
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/run not JSON: %v\n%s", err, body)
+	}
+	if snap["iter"] != float64(3) || snap["fit"] != 0.5 {
+		t.Errorf("/run = %v", snap)
+	}
+
+	// pprof index and expvar must be mounted.
+	if code, _ := get(t, base+"/debug/pprof/"); code != 200 {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, _ := get(t, base+"/debug/vars"); code != 200 {
+		t.Errorf("/debug/vars = %d", code)
+	}
+}
+
+func TestServerNilRegistry(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, body := get(t, "http://"+srv.Addr()+"/metrics"); code != 200 || body != "" {
+		t.Errorf("/metrics with nil registry = %d %q", code, body)
+	}
+}

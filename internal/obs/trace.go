@@ -1,0 +1,222 @@
+// Package obs is the repository's zero-third-party-dependency observability
+// layer: a span tracer exporting Chrome trace-event JSON (Perfetto-loadable),
+// a metrics registry with Prometheus text exposition and an expvar bridge,
+// and a live debug HTTP server.
+//
+// Everything is built around one invariant: the uninstrumented path costs a
+// pointer test and nothing else. A nil *Tracer and a nil *Registry are fully
+// valid receivers whose methods no-op without allocating, so hot kernels can
+// carry instrumentation hooks unconditionally — the steady-state zero-alloc
+// guarantees of the engine layer survive with observability compiled in but
+// switched off (pinned by alloc_test.go).
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// event is one completed span in the ring buffer. Spans are recorded at End
+// as Chrome "X" complete events (timestamp + duration in one record), so a
+// wrapped ring can never orphan a begin event: whatever survives the wrap is
+// a well-formed trace.
+type event struct {
+	name  string
+	track int32
+	ts    int64 // nanoseconds since the tracer's origin
+	dur   int64 // nanoseconds
+}
+
+// Tracer records spans into a fixed-capacity ring buffer. Emission is
+// mutex-guarded (spans are chunk/phase/node granularity, not per-nonzero, so
+// the lock is far off any inner loop) and allocation-free; when the ring is
+// full the oldest events are overwritten and Dropped counts the loss.
+//
+// A nil *Tracer is valid: every method no-ops after a pointer test.
+type Tracer struct {
+	mu     sync.Mutex
+	events []event
+	n      uint64 // total events ever emitted
+	origin time.Time
+	tracks map[int32]string
+}
+
+// DefaultEvents is the ring capacity NewTracer uses for capacity <= 0
+// (64 Ki events ≈ 3 MiB).
+const DefaultEvents = 1 << 16
+
+// NewTracer creates a tracer with the given ring capacity (<= 0 selects
+// DefaultEvents). The origin of the trace clock is the call time.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultEvents
+	}
+	return &Tracer{
+		events: make([]event, 0, capacity),
+		origin: time.Now(),
+		tracks: make(map[int32]string),
+	}
+}
+
+// Now returns the current trace timestamp (nanoseconds since the tracer's
+// origin, monotonic). Zero on a nil tracer.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.origin).Nanoseconds()
+}
+
+// Emit records a completed span that started at startNS (a Now value) and
+// ends now. No-op on a nil tracer.
+func (t *Tracer) Emit(name string, track int32, startNS int64) {
+	if t == nil {
+		return
+	}
+	t.EmitRange(name, track, startNS, t.Now()-startNS)
+}
+
+// EmitRange records a completed span with an explicit start and duration.
+// No-op on a nil tracer; allocation-free once the ring is warm.
+func (t *Tracer) EmitRange(name string, track int32, startNS, durNS int64) {
+	if t == nil {
+		return
+	}
+	if durNS < 0 {
+		durNS = 0
+	}
+	ev := event{name: name, track: track, ts: startNS, dur: durNS}
+	t.mu.Lock()
+	if len(t.events) < cap(t.events) {
+		t.events = t.events[:len(t.events)+1]
+	}
+	t.events[t.n%uint64(cap(t.events))] = ev
+	t.n++
+	t.mu.Unlock()
+}
+
+// Span is a live measurement handle: a value type, so starting and ending a
+// span allocates nothing. The zero Span (from a nil tracer) ends as a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	track int32
+	start int64
+}
+
+// StartSpan begins a span on the given track (Chrome trace tid; use 0 for
+// the main goroutine and worker+1 for pool workers, so scheduler gaps show
+// as empty stretches on worker tracks).
+func (t *Tracer) StartSpan(name string, track int32) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, track: track, start: t.Now()}
+}
+
+// End completes the span and records it. Safe on the zero Span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Emit(s.name, s.track, s.start)
+}
+
+// SetTrackName labels a track; the exporter emits it as a thread_name
+// metadata event so Perfetto shows readable lane names.
+func (t *Tracer) SetTrackName(track int32, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tracks[track] = name
+	t.mu.Unlock()
+}
+
+// Len reports the number of events currently held (at most the capacity).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped reports how many events were overwritten by ring wrap-around.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n <= uint64(cap(t.events)) {
+		return 0
+	}
+	return t.n - uint64(cap(t.events))
+}
+
+// chromeEvent is the trace-event JSON schema (the subset Perfetto needs).
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int32             `json:"tid"`
+	Cat  string            `json:"cat,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the containing JSON object format ({"traceEvents": [...]}),
+// which both chrome://tracing and Perfetto load directly.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace exports the retained events as Chrome trace-event JSON.
+// Every span is a complete ("X") event and track names become thread_name
+// metadata ("M") events, so the output is valid regardless of how often the
+// ring wrapped. Events are sorted by start time.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	evs := make([]event, len(t.events))
+	copy(evs, t.events)
+	names := make(map[int32]string, len(t.tracks))
+	for k, v := range t.tracks {
+		names[k] = v
+	}
+	t.mu.Unlock()
+
+	sort.Slice(evs, func(a, b int) bool { return evs[a].ts < evs[b].ts })
+
+	out := chromeTrace{DisplayTimeUnit: "ms"}
+	out.TraceEvents = make([]chromeEvent, 0, len(evs)+len(names))
+	tracks := make([]int32, 0, len(names))
+	for tr := range names {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(a, b int) bool { return tracks[a] < tracks[b] })
+	for _, tr := range tracks {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tr,
+			Args: map[string]string{"name": names[tr]},
+		})
+	}
+	for _, ev := range evs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: ev.name, Ph: "X", PID: 1, TID: ev.track, Cat: "adatm",
+			TS:  float64(ev.ts) / 1e3,
+			Dur: float64(ev.dur) / 1e3,
+		})
+	}
+	return json.NewEncoder(w).Encode(out)
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// decodeTrace parses an exported trace and returns the event list.
+func decodeTrace(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var obj struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &obj); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, data)
+	}
+	return obj.TraceEvents
+}
+
+// checkBalanced asserts the Chrome trace invariant the exporter guarantees:
+// every event is either a complete ("X") or metadata ("M") event, and any
+// "B" has a matching "E" on the same (pid, tid). The ring stores only
+// completed spans, so this must hold even after arbitrary wrap-around.
+func checkBalanced(t *testing.T, events []map[string]any) {
+	t.Helper()
+	open := map[string]int{}
+	for _, ev := range events {
+		ph, _ := ev["ph"].(string)
+		key, _ := ev["tid"].(float64)
+		switch ph {
+		case "X", "M":
+		case "B":
+			open[ph+string(rune(int(key)))]++
+		case "E":
+			k := "B" + string(rune(int(key)))
+			if open[k] == 0 {
+				t.Errorf("E event with no open B on tid %v", key)
+			}
+			open[k]--
+		default:
+			t.Errorf("unexpected phase %q", ph)
+		}
+	}
+	for k, n := range open {
+		if n != 0 {
+			t.Errorf("%d unclosed B events (%s)", n, k)
+		}
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer(128)
+	tr.SetTrackName(0, "main")
+	tr.SetTrackName(1, "worker1")
+	sp := tr.StartSpan("gram", 0)
+	inner := tr.StartSpan("par.chunk", 1)
+	inner.End()
+	sp.End()
+	tr.EmitRange("mttkrp/mode0", 0, 10, 500)
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	checkBalanced(t, events)
+	var names []string
+	meta := 0
+	for _, ev := range events {
+		if ev["ph"] == "M" {
+			meta++
+			continue
+		}
+		names = append(names, ev["name"].(string))
+	}
+	if meta != 2 {
+		t.Errorf("thread_name metadata events = %d, want 2", meta)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"gram", "par.chunk", "mttkrp/mode0"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("span %q missing from %v", want, names)
+		}
+	}
+}
+
+func TestChromeTraceRingWrapMidSpan(t *testing.T) {
+	// A tiny ring forced to wrap while spans are open: the export must still
+	// be valid JSON with only complete events — no orphaned B/E pairs.
+	tr := NewTracer(8)
+	outer := tr.StartSpan("outer", 0)
+	for i := 0; i < 100; i++ {
+		tr.StartSpan("inner", int32(i%4)).End()
+	}
+	outer.End()
+	if tr.Len() != 8 {
+		t.Errorf("Len = %d, want 8 (ring capacity)", tr.Len())
+	}
+	if tr.Dropped() != 101-8 {
+		t.Errorf("Dropped = %d, want %d", tr.Dropped(), 101-8)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	checkBalanced(t, events)
+	if len(events) != 8 {
+		t.Errorf("exported %d events, want 8", len(events))
+	}
+	// Start times must be sorted for stable diffing and stream consumers.
+	prev := -1.0
+	for _, ev := range events {
+		ts := ev["ts"].(float64)
+		if ts < prev {
+			t.Errorf("events not sorted by ts: %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestTracerConcurrentEmit(t *testing.T) {
+	tr := NewTracer(64) // much smaller than the emit count: laps constantly
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.StartSpan("s", int32(w)).End()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 64 {
+		t.Errorf("Len = %d, want 64", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	checkBalanced(t, decodeTrace(t, buf.Bytes()))
+}
+
+func TestNilTracer(t *testing.T) {
+	var tr *Tracer
+	if tr.Now() != 0 {
+		t.Error("nil Now != 0")
+	}
+	sp := tr.StartSpan("x", 0)
+	sp.End()
+	tr.Emit("x", 0, 0)
+	tr.EmitRange("x", 0, 0, 1)
+	tr.SetTrackName(0, "main")
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Error("nil tracer holds events")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	if len(events) != 0 {
+		t.Errorf("nil tracer exported %d events", len(events))
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	tr := NewTracer(4)
+	tr.EmitRange("backwards", 0, 100, -50)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range decodeTrace(t, buf.Bytes()) {
+		if d, ok := ev["dur"].(float64); ok && d < 0 {
+			t.Errorf("negative duration %v exported", d)
+		}
+	}
+}

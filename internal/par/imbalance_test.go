@@ -1,0 +1,72 @@
+package par
+
+import (
+	"strings"
+	"testing"
+
+	"adatm/internal/obs"
+)
+
+func TestImbalanceRatio(t *testing.T) {
+	// Four unit-weight items in two chunks of two: perfect split.
+	prefix := []int64{0, 1, 2, 3, 4}
+	if r := ImbalanceRatio(prefix, []int{0, 2, 4}); r != 1 {
+		t.Errorf("even split ratio = %g, want 1", r)
+	}
+	// One chunk holds 3 of 4 units across 2 chunks: 3*2/4 = 1.5.
+	if r := ImbalanceRatio(prefix, []int{0, 3, 4}); r != 1.5 {
+		t.Errorf("skewed split ratio = %g, want 1.5", r)
+	}
+	// Degenerate inputs report 1 (no imbalance to speak of).
+	if r := ImbalanceRatio(nil, nil); r != 1 {
+		t.Errorf("nil inputs ratio = %g, want 1", r)
+	}
+	if r := ImbalanceRatio([]int64{0, 0, 0}, []int{0, 1, 2}); r != 1 {
+		t.Errorf("zero-weight ratio = %g, want 1", r)
+	}
+	// A single mega-item dominates whatever chunk holds it, so the ratio is
+	// pinned between the item's own share and that share plus the stray
+	// units that may ride along in its chunk.
+	prefix = []int64{0, 1, 101, 102, 103, 104}
+	b := WeightedBounds(prefix, 4)
+	r := ImbalanceRatio(prefix, b)
+	nchunks := float64(len(b) - 1)
+	lo, hi := 100*nchunks/104, 104*nchunks/104
+	if r < lo-1e-12 || r > hi+1e-12 {
+		t.Errorf("mega-item ratio = %g, want in [%g, %g] (bounds %v)", r, lo, hi, b)
+	}
+}
+
+// TestChunkTracerSpans verifies the package-global tracer hook: ForChunks
+// wraps every executed chunk in a span on the worker's track, and resetting
+// the hook to nil stops emission.
+func TestChunkTracerSpans(t *testing.T) {
+	tr := obs.NewTracer(256)
+	SetChunkTracer(tr)
+	defer SetChunkTracer(nil)
+
+	prefix := []int64{0, 4, 8, 12, 16}
+	bounds := WeightedBounds(prefix, 4)
+	var visited int
+	ForChunks(bounds, 1, func(worker, lo, hi int) { visited++ })
+	if visited == 0 {
+		t.Fatal("ForChunks executed no chunks")
+	}
+	if tr.Len() != visited {
+		t.Errorf("tracer holds %d spans, want one per executed chunk (%d)", tr.Len(), visited)
+	}
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "par.chunk") {
+		t.Error("trace export missing par.chunk spans")
+	}
+
+	SetChunkTracer(nil)
+	before := tr.Len()
+	ForChunks(bounds, 1, func(worker, lo, hi int) {})
+	if tr.Len() != before {
+		t.Error("spans emitted after the chunk tracer was cleared")
+	}
+}

@@ -14,6 +14,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"adatm/internal/obs"
 )
 
 // MaxWorkers returns the default parallel width, GOMAXPROCS(0).
@@ -146,6 +149,45 @@ func ForBlocks(n, blockSize, workers int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// chunkTracer, when set, receives one span per executed ForChunks chunk on
+// track worker+1, making scheduler imbalance directly visible in a trace
+// viewer: an idle worker shows as a gap in its track. A package-level hook
+// (rather than a per-call parameter) keeps every existing kernel call site
+// untouched and the disabled cost at one atomic pointer load per chunk loop.
+var chunkTracer atomic.Pointer[obs.Tracer]
+
+// chunkSpanName labels the per-chunk spans in exported traces.
+const chunkSpanName = "par.chunk"
+
+// SetChunkTracer installs (or, with nil, removes) the tracer that records
+// per-chunk execution spans from ForChunks. Safe to call concurrently with
+// running kernels.
+func SetChunkTracer(t *obs.Tracer) { chunkTracer.Store(t) }
+
+// ImbalanceRatio measures the load imbalance of a weighted chunking: the
+// heaviest chunk's weight divided by the ideal per-chunk share total/nchunks.
+// 1.0 is a perfect split; the ratio is also the parallel slowdown an
+// otherwise-perfect schedule suffers from the heaviest chunk. Returns 1 for
+// degenerate inputs (no items, zero total weight).
+func ImbalanceRatio(prefix []int64, bounds []int) float64 {
+	nchunks := len(bounds) - 1
+	if nchunks <= 0 || len(prefix) == 0 {
+		return 1
+	}
+	total := prefix[len(prefix)-1]
+	if total <= 0 {
+		return 1
+	}
+	var heaviest int64
+	for c := 0; c < nchunks; c++ {
+		w := prefix[bounds[c+1]] - prefix[bounds[c]]
+		if w > heaviest {
+			heaviest = w
+		}
+	}
+	return float64(heaviest) * float64(nchunks) / float64(total)
+}
+
 // WeightedBounds splits the n items described by a prefix-sum array
 // (len n+1, prefix[i] = total weight of items [0, i)) into at most nchunks
 // contiguous ranges of roughly equal weight. The returned boundary array b
@@ -224,10 +266,13 @@ func ForChunks(bounds []int, workers int, body func(worker, lo, hi int)) {
 		return
 	}
 	workers = clampWorkers(workers, nchunks)
+	tr := chunkTracer.Load()
 	if workers == 1 {
 		for c := 0; c < nchunks; c++ {
 			if bounds[c] < bounds[c+1] {
+				sp := tr.StartSpan(chunkSpanName, 1)
 				body(0, bounds[c], bounds[c+1])
+				sp.End()
 			}
 		}
 		return
@@ -244,7 +289,9 @@ func ForChunks(bounds []int, workers int, body func(worker, lo, hi int)) {
 			defer wg.Done()
 			for c := range chunks {
 				if bounds[c] < bounds[c+1] {
+					sp := tr.StartSpan(chunkSpanName, int32(w)+1)
 					body(w, bounds[c], bounds[c+1])
+					sp.End()
 				}
 			}
 		}(w)

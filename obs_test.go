@@ -1,0 +1,94 @@
+package adatm_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"adatm"
+)
+
+// TestDecomposeWithObservability runs the public-API end-to-end path: a
+// Decompose with a tracer and metrics registry attached must produce a
+// Perfetto-parseable trace holding the ALS phase and per-mode MTTKRP spans,
+// and a /metrics exposition with the engine, memo, and phase families.
+func TestDecomposeWithObservability(t *testing.T) {
+	x := testTensor(t)
+	tr := adatm.NewTracer(0)
+	reg := adatm.NewMetrics()
+	res, err := adatm.Decompose(x, adatm.Options{
+		Rank: 4, MaxIters: 3, Seed: 1, Workers: 1,
+		Engine: adatm.EngineAdaptive,
+		Tracer: tr, Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters == 0 {
+		t.Fatal("run performed no iterations")
+	}
+
+	var sb strings.Builder
+	if err := tr.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("trace export is not valid JSON: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		seen[ev.Name] = true
+	}
+	for _, want := range []string{"mttkrp/mode0", "gram", "solve", "normalize", "fit"} {
+		if !seen[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+
+	sb.Reset()
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"adatm_cpd_phase_seconds_bucket",
+		`phase="mttkrp"`,
+		"adatm_cpd_iterations_total 3",
+		"adatm_cpd_fit",
+		"adatm_memo_hits_total",
+		"adatm_engine_mttkrp_calls_total",
+		"adatm_par_chunk_imbalance_ratio",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+}
+
+// TestInstrumentWithDecomposeWith covers the advanced path: a caller-built
+// engine instrumented explicitly, with only a registry (no tracer).
+func TestInstrumentWithDecomposeWith(t *testing.T) {
+	x := testTensor(t)
+	eng, err := adatm.NewEngine(x, adatm.EngineCSF, adatm.EngineConfig{Rank: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := adatm.NewMetrics()
+	adatm.Instrument(eng, nil, reg)
+	if _, err := adatm.DecomposeWith(x, eng, adatm.Options{Rank: 4, MaxIters: 2, Seed: 1, Metrics: reg}); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `engine="csf"`) {
+		t.Error("metrics exposition missing the csf engine series")
+	}
+}

@@ -16,3 +16,4 @@ make test-race
 go vet ./cmd/...
 go test -race ./cmd/...
 make bench-smoke
+make obs-smoke

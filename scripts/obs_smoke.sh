@@ -1,0 +1,62 @@
+#!/bin/sh
+# Observability smoke test: boot cpd with the live debug server, scrape it
+# while the server is held open after the run, and check the exposition
+# carries the memo-engine counters. Exercises the full -listen/-hold/
+# -tracefile wiring end to end on a tiny synthetic tensor.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/tensorgen" ./cmd/tensorgen
+go build -o "$tmp/cpd" ./cmd/cpd
+
+"$tmp/tensorgen" -dims 40x30x20x10 -nnz 4000 -skew 0.5,0.5,0.5,0.2 -seed 7 -out "$tmp/smoke.tns"
+
+"$tmp/cpd" -in "$tmp/smoke.tns" -rank 4 -iters 3 -engine adaptive \
+    -listen 127.0.0.1:0 -hold -tracefile "$tmp/trace.json" \
+    >"$tmp/stdout" 2>"$tmp/stderr" &
+pid=$!
+
+# The resolved address is announced on stderr once the listener is up.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*debug server listening on http://##p' "$tmp/stderr" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: cpd exited early"; cat "$tmp/stderr"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "obs-smoke: debug server never announced its address"; cat "$tmp/stderr"; exit 1; }
+
+# Wait for the run to finish (-hold keeps the server up afterwards) so the
+# scrape sees final counter values rather than a race with the run.
+for _ in $(seq 1 300); do
+    grep -q "holding debug server" "$tmp/stderr" && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: cpd exited before holding"; cat "$tmp/stderr"; exit 1; }
+    sleep 0.1
+done
+
+curl -fsS "http://$addr/healthz" | grep -q ok || { echo "obs-smoke: /healthz failed"; exit 1; }
+curl -fsS "http://$addr/metrics" >"$tmp/metrics"
+for series in adatm_memo_hits_total adatm_memo_misses_total \
+    adatm_cpd_phase_seconds_bucket adatm_cpd_iterations_total \
+    adatm_par_chunk_imbalance_ratio adatm_go_goroutines; do
+    grep -q "$series" "$tmp/metrics" || { echo "obs-smoke: /metrics missing $series"; cat "$tmp/metrics"; exit 1; }
+done
+curl -fsS "http://$addr/run" | grep -q '"done": *true' || { echo "obs-smoke: /run missing final snapshot"; exit 1; }
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# The Chrome trace must be valid JSON with the expected envelope.
+grep -q '"traceEvents"' "$tmp/trace.json" || { echo "obs-smoke: trace file malformed"; exit 1; }
+grep -q '"displayTimeUnit"' "$tmp/trace.json" || { echo "obs-smoke: trace file malformed"; exit 1; }
+
+echo "obs-smoke: OK ($(wc -c <"$tmp/metrics") bytes of metrics, $(wc -c <"$tmp/trace.json") bytes of trace)"
