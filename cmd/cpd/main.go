@@ -74,6 +74,7 @@ func main() {
 		fatal(err)
 	}
 	defer stopProf()
+	fatalCleanup = stopProf // defers don't run through os.Exit; flush profiles on fatal too
 	x, err := adatm.Load(*in)
 	if err != nil {
 		fatal(err)
@@ -138,6 +139,12 @@ func main() {
 	obsst, err := setupObs(*tracefile, *listen, *hold, *workers)
 	if err != nil {
 		fatal(err)
+	}
+	// fatal() exits via os.Exit, skipping defers; route error exits through
+	// finish so a failed run still writes its -tracefile and closes -listen.
+	fatalCleanup = func() {
+		obsst.finish(*engName, *rank, nil)
+		stopProf()
 	}
 	opt := adatm.Options{
 		Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers,
@@ -204,8 +211,15 @@ func main() {
 	obsst.finish(*engName, *rank, res)
 }
 
+// fatalCleanup flushes observability state (trace file, profiles, debug
+// server) before a fatal exit; main replaces it as each subsystem comes up.
+var fatalCleanup func()
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "cpd:", err)
+	if fatalCleanup != nil {
+		fatalCleanup()
+	}
 	os.Exit(1)
 }
 

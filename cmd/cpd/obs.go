@@ -22,6 +22,7 @@ type obsState struct {
 	tracePath string
 	hold      bool
 	started   time.Time
+	done      bool // finish already ran (it is called from both the normal exit and fatal)
 }
 
 // runSnapshot is the JSON payload served at /run, refreshed after every
@@ -100,11 +101,14 @@ func (o *obsState) progress(engName string, rank int, inner func(adatm.IterStats
 
 // finish writes the Chrome trace file, publishes the final /run snapshot,
 // optionally holds the debug server open until SIGINT/SIGTERM, and shuts
-// the server down. Safe on a nil receiver and with a nil result.
+// the server down. Idempotent and safe on a nil receiver. A nil result marks
+// an error exit: the trace is still flushed (failed runs are exactly the ones
+// worth tracing) but -hold is skipped so scripted runs don't hang on failure.
 func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
-	if o == nil {
+	if o == nil || o.done {
 		return
 	}
+	o.done = true
 	if o.tracer != nil {
 		adatm.TraceChunks(nil)
 		if err := writeTraceFile(o.tracePath, o.tracer); err != nil {
@@ -121,7 +125,7 @@ func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
 				Done: true, Converged: res.Converged,
 			})
 		}
-		if o.hold {
+		if o.hold && res != nil {
 			fmt.Fprintf(os.Stderr, "run finished; holding debug server on http://%s (interrupt to exit)\n", o.server.Addr())
 			ch := make(chan os.Signal, 1)
 			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)

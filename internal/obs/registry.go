@@ -200,7 +200,7 @@ type family struct {
 // A nil *Registry is valid: registration methods return nil collectors
 // (whose methods no-op) and WriteTo writes nothing.
 type Registry struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // register() writes; WriteTo/Snapshot hold the read lock for the full render
 	families map[string]*family
 }
 
@@ -323,6 +323,8 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 // Histogram registers (or returns) the histogram series name{labels} with
 // the given ascending bucket bounds (nil selects LatencyBuckets). Non-finite
 // bounds panic at registration — they would corrupt the cumulative buckets.
+// Re-registering an existing series with different bounds panics too: the
+// caller would otherwise silently get data bucketed by the original bounds.
 func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64) *Histogram {
 	if bounds == nil {
 		bounds = LatencyBuckets()
@@ -343,18 +345,39 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 	if s == nil {
 		return nil
 	}
+	if !equalBounds(s.h.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds (%v, was %v)", name, bounds, s.h.bounds))
+	}
 	return s.h
 }
 
+// equalBounds reports whether two bound slices are element-wise identical.
+// Bounds are immutable after series creation, so this is safe outside the
+// registry lock.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // CounterFunc registers a counter whose value is read from fn at exposition
-// time. fn must be safe to call from any goroutine (read atomics only) and
-// must be monotonically non-decreasing.
+// time. fn must be safe to call from any goroutine (read atomics only), must
+// be monotonically non-decreasing, and must not register metrics on this
+// registry — it runs while WriteTo/Snapshot hold the registry lock.
 func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() float64) {
 	r.register(name, help, kindCounter, labels, func() *series { return &series{fn: fn} })
 }
 
 // GaugeFunc registers a gauge whose value is read from fn at exposition
-// time. fn must be safe to call from any goroutine.
+// time. fn must be safe to call from any goroutine and must not register
+// metrics on this registry — it runs while WriteTo/Snapshot hold the
+// registry lock.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
 	r.register(name, help, kindGauge, labels, func() *series { return &series{fn: fn} })
 }
@@ -378,12 +401,15 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	if r == nil {
 		return 0, nil
 	}
-	r.mu.Lock()
+	// Hold the read lock for the whole render: family and series maps grow
+	// under register()'s write lock, and sample reads are all atomics, so the
+	// critical section is cheap and scrapes never race a registration.
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	fams := make([]*family, 0, len(r.families))
 	for _, f := range r.families {
 		fams = append(fams, f)
 	}
-	r.mu.Unlock()
 	sort.Slice(fams, func(a, b int) bool { return fams[a].name < fams[b].name })
 
 	var b strings.Builder
@@ -434,7 +460,11 @@ func writeHistogram(b *strings.Builder, name string, s *series) {
 	cum += h.inf.Load()
 	fmt.Fprintf(b, "%s_bucket%sle=\"+Inf\"%s %d\n", name, open, closeRest, cum)
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, s.labelStr, formatValue(h.Sum()))
-	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labelStr, h.count.Load())
+	// _count is derived from the cumulative bucket total, not h.count:
+	// Observe increments buckets before count, so reading count separately
+	// could exceed the +Inf bucket under a concurrent Observe, violating the
+	// Prometheus invariant that the +Inf bucket equals _count.
+	fmt.Fprintf(b, "%s_count%s %d\n", name, s.labelStr, cum)
 }
 
 // Snapshot returns a flat name{labels} → value map of every series
@@ -445,13 +475,9 @@ func (r *Registry) Snapshot() map[string]float64 {
 	if r == nil {
 		return out
 	}
-	r.mu.Lock()
-	fams := make([]*family, 0, len(r.families))
+	r.mu.RLock() // full-render read lock, same reasoning as WriteTo
+	defer r.mu.RUnlock()
 	for _, f := range r.families {
-		fams = append(fams, f)
-	}
-	r.mu.Unlock()
-	for _, f := range fams {
 		for _, s := range f.series {
 			switch {
 			case f.kind == kindHistogram:

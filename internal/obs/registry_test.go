@@ -1,7 +1,9 @@
 package obs
 
 import (
+	"fmt"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -196,6 +198,94 @@ func TestFuncMetricsAndSnapshot(t *testing.T) {
 	if snap[`fn_total{k="v"}`] != 42 || snap["h_seconds_count"] != 1 || snap["h_seconds_sum"] != 0.5 {
 		t.Errorf("snapshot = %v", snap)
 	}
+}
+
+func TestHistogramBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("lat_seconds", "", nil, []float64{1, 2, 3})
+	if h := r.Histogram("lat_seconds", "", nil, []float64{1, 2, 3}); h == nil {
+		t.Fatal("same-bounds re-registration should return the series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("different bounds on re-registration did not panic")
+		}
+	}()
+	r.Histogram("lat_seconds", "", nil, []float64{1, 2})
+}
+
+// TestConcurrentRegistrationAndExposition scrapes while new series are still
+// being registered — the shipped wiring does exactly this (the debug server
+// starts before Decompose instruments the engines). Run under -race this
+// pins the register/WriteTo map race.
+func TestConcurrentRegistrationAndExposition(t *testing.T) {
+	r := NewRegistry()
+	// Pre-populate one big histogram family (26 default buckets × 200 series)
+	// so every render dwells a long time iterating that family's series map —
+	// the widest possible window for a concurrent insert to land in it.
+	for i := 0; i < 200; i++ {
+		r.Histogram("h_seconds", "", Labels{"i": strconv.Itoa(i)}, nil).Observe(0.1)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Fresh label values: each call inserts a new series into the family
+		// the scraper is concurrently iterating.
+		for i := 200; i < 320; i++ {
+			r.Histogram("h_seconds", "", Labels{"i": strconv.Itoa(i)}, nil).Observe(0.1)
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		var b strings.Builder
+		if _, err := r.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+		r.Snapshot()
+	}
+}
+
+// TestHistogramCountMatchesInfBucket pins the Prometheus invariant that the
+// le="+Inf" cumulative bucket equals _count while observations race a scrape.
+func TestHistogramCountMatchesInfBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", nil, []float64{0.5})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				h.Observe(0.25)
+				h.Observe(2.5)
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		out := expose(t, r)
+		var inf, count int64
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, `h_seconds_bucket{le="+Inf"} `) {
+				fmt.Sscanf(line, `h_seconds_bucket{le="+Inf"} %d`, &inf)
+			}
+			if strings.HasPrefix(line, "h_seconds_count ") {
+				fmt.Sscanf(line, "h_seconds_count %d", &count)
+			}
+		}
+		if inf != count {
+			t.Fatalf("+Inf bucket %d != _count %d", inf, count)
+		}
+	}
+	close(stop)
+	wg.Wait()
 }
 
 func TestConcurrentObservation(t *testing.T) {
