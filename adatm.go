@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 
+	"adatm/internal/audit"
 	"adatm/internal/coo"
 	"adatm/internal/cpd"
 	"adatm/internal/csf"
@@ -82,8 +83,24 @@ type (
 	// MetricLabels is the label set attached to a metric series.
 	MetricLabels = obs.Labels
 	// DebugServer is the live HTTP debug endpoint (/metrics, /healthz,
-	// /debug/pprof/*, /run).
+	// /debug/pprof/*, /run, /plan).
 	DebugServer = obs.Server
+	// AuditRecorder records the cost model's selection decision and
+	// reconciles it against the run's measured counters (the model-audit
+	// layer). A nil recorder is valid and free.
+	AuditRecorder = audit.Recorder
+	// AuditConfig parameterizes NewAuditRecorder (logger, JSONL ledger,
+	// metrics registry, warn threshold, update hook).
+	AuditConfig = audit.Config
+	// AuditDecision is one recorded selection decision.
+	AuditDecision = audit.Decision
+	// AuditReport is the reconciliation of a decision against measurements.
+	AuditReport = audit.Report
+	// AuditRecord is a decision plus its reconciliation (the ledger entry
+	// and the /plan payload).
+	AuditRecord = audit.Record
+	// AuditMeasured carries a run's measured counters for reconciliation.
+	AuditMeasured = audit.Measured
 )
 
 // Re-exported phase identifiers for reading RunStats.Phases.
@@ -210,6 +227,11 @@ type Options struct {
 	// Metrics, when non-nil, receives the run's counters, gauges, and
 	// latency histograms for /metrics scraping.
 	Metrics *Metrics
+	// Audit, when non-nil, receives the cost model's selection decision
+	// (when the adaptive engine runs the model) and, at run end, the
+	// reconciliation of that decision against the measured counters. Build
+	// one with NewAuditRecorder.
+	Audit *AuditRecorder
 }
 
 // Decompose computes a rank-R CP decomposition of x.
@@ -218,9 +240,12 @@ func Decompose(x *Tensor, opt Options) (*Result, error) {
 	if kind == "" {
 		kind = EngineAdaptive
 	}
-	eng, err := NewEngine(x, kind, EngineConfig{Rank: opt.Rank, Workers: opt.Workers, MemoryBudget: opt.MemoryBudget})
+	eng, plan, err := NewEnginePlanned(x, kind, EngineConfig{Rank: opt.Rank, Workers: opt.Workers, MemoryBudget: opt.MemoryBudget})
 	if err != nil {
 		return nil, err
+	}
+	if opt.Audit != nil && plan != nil {
+		opt.Audit.RecordDecision(audit.NewDecision(plan))
 	}
 	Instrument(eng, opt.Tracer, opt.Metrics)
 	return DecomposeWith(x, eng, opt)
@@ -245,8 +270,15 @@ func DecomposeWith(x *Tensor, eng Engine, opt Options) (*Result, error) {
 		CollectStats: opt.CollectStats,
 		Tracer:       opt.Tracer,
 		Metrics:      opt.Metrics,
+		Audit:        opt.Audit,
 	})
 }
+
+// NewAuditRecorder builds a model-audit recorder over the configured sinks
+// (all optional): structured logger, JSONL decision ledger, metrics registry,
+// and an update hook. Attach it via Options.Audit; read the outcome back with
+// its Latest method or any of the sinks.
+func NewAuditRecorder(cfg AuditConfig) *AuditRecorder { return audit.NewRecorder(cfg) }
 
 // Instrument attaches a tracer and/or metrics registry to an engine that
 // supports it (all built-in engines do). Engines constructed inside
@@ -308,39 +340,57 @@ type EngineConfig struct {
 // dims, so a malformed tensor must be rejected here rather than panic
 // deep inside a kernel.
 func NewEngine(x *Tensor, kind EngineKind, cfg EngineConfig) (Engine, error) {
+	eng, _, err := NewEnginePlanned(x, kind, cfg)
+	return eng, err
+}
+
+// NewEnginePlanned is NewEngine plus the selection evidence: when the
+// adaptive kind actually runs the cost model (no explicit Strategy
+// override), the scored Plan is returned alongside the engine so callers can
+// audit the decision (see Options.Audit). Every other path returns a nil
+// Plan.
+func NewEnginePlanned(x *Tensor, kind EngineKind, cfg EngineConfig) (Engine, *Plan, error) {
 	if x == nil {
-		return nil, fmt.Errorf("adatm: nil tensor")
+		return nil, nil, fmt.Errorf("adatm: nil tensor")
 	}
 	if err := x.Validate(); err != nil {
-		return nil, fmt.Errorf("adatm: %w", err)
+		return nil, nil, fmt.Errorf("adatm: %w", err)
 	}
 	n := x.Order()
 	switch kind {
 	case EngineCOO:
-		return coo.New(x, cfg.Workers), nil
+		return coo.New(x, cfg.Workers), nil, nil
 	case EngineCSF:
-		return csf.NewAllMode(x, cfg.Workers), nil
+		return csf.NewAllMode(x, cfg.Workers), nil, nil
 	case EngineCSFOne:
-		return csf.NewSingle(x, cfg.Workers), nil
+		return csf.NewSingle(x, cfg.Workers), nil, nil
 	case EngineHiCOO:
-		return hicoo.New(x, cfg.Workers), nil
+		return hicoo.New(x, cfg.Workers), nil, nil
 	case EngineMemoFlat:
-		return memoEngine(x, cfg, memo.Flat(n), string(kind))
+		eng, err := memoEngine(x, cfg, memo.Flat(n), string(kind))
+		return eng, nil, err
 	case EngineMemoTwoGroup:
 		if n < 2 {
-			return nil, fmt.Errorf("adatm: %s needs order >= 2", kind)
+			return nil, nil, fmt.Errorf("adatm: %s needs order >= 2", kind)
 		}
-		return memoEngine(x, cfg, memo.TwoGroup(n, n/2), string(kind))
+		eng, err := memoEngine(x, cfg, memo.TwoGroup(n, n/2), string(kind))
+		return eng, nil, err
 	case EngineMemoBalanced:
-		return memoEngine(x, cfg, memo.Balanced(n), string(kind))
+		eng, err := memoEngine(x, cfg, memo.Balanced(n), string(kind))
+		return eng, nil, err
 	case EngineAdaptive:
 		if cfg.Strategy != nil {
-			return memoEngine(x, cfg, cfg.Strategy, string(kind))
+			eng, err := memoEngine(x, cfg, cfg.Strategy, string(kind))
+			return eng, nil, err
 		}
 		plan := PlanFor(x, cfg.Rank, cfg.MemoryBudget)
-		return memoEngine(x, cfg, plan.Chosen.Strategy, fmt.Sprintf("adaptive[%s]", plan.Chosen.Name))
+		eng, err := memoEngine(x, cfg, plan.Chosen.Strategy, fmt.Sprintf("adaptive[%s]", plan.Chosen.Name))
+		if err != nil {
+			return nil, nil, err
+		}
+		return eng, plan, nil
 	default:
-		return nil, fmt.Errorf("adatm: unknown engine kind %q", kind)
+		return nil, nil, fmt.Errorf("adatm: unknown engine kind %q", kind)
 	}
 }
 

@@ -39,6 +39,7 @@ func main() {
 		rank      = flag.Int("rank", 16, "CP rank for non-sweeping experiments")
 		workers   = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 0, "dataset seed offset")
+		auditFile = flag.String("auditfile", "", "write the model-audit decision ledger (JSONL) from model experiments (E7) to this file")
 	)
 	flag.Parse()
 	if *traceOut != "" {
@@ -113,6 +114,15 @@ func main() {
 	}
 
 	cfg := exp.Config{Quick: *quick, Workers: *workers, Rank: *rank, Seed: *seed}
+	if *auditFile != "" {
+		f, err := os.Create(*auditFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adabench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.AuditW = f
+	}
 	runners := exp.Registry()
 	if *expList != "" {
 		runners = runners[:0]

@@ -43,8 +43,13 @@ func main() {
 		rtTrace   = flag.String("runtimetrace", "", "write a Go runtime execution trace to this file")
 		traceOut  = flag.String("trace", "", "deprecated alias for -runtimetrace")
 		tracefile = flag.String("tracefile", "", "write a Chrome trace-event JSON of CP-ALS spans (load in Perfetto)")
-		listen    = flag.String("listen", "", "serve /metrics, /healthz, /run, /debug/pprof on this address (e.g. :9090)")
+		listen    = flag.String("listen", "", "serve /metrics, /healthz, /run, /plan, /debug/pprof on this address (e.g. :9090)")
 		hold      = flag.Bool("hold", false, "with -listen: keep the debug server up after the run until interrupted")
+		auditRun  = flag.Bool("audit", false, "reconcile the cost model's predictions against the measured run and print the table (adaptive engine)")
+		auditFile = flag.String("auditfile", "", "append the model-audit decision ledger (JSONL) to this file")
+		auditWarn = flag.Float64("auditwarn", 0.25, "model-audit |relative error| warning threshold")
+		logJSON   = flag.Bool("logjson", false, "emit structured JSON log events (model selection, reconciliation) to stderr")
+		logFile   = flag.String("logfile", "", "write structured JSON log events to this file instead of stderr")
 		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 		progress  = flag.Bool("progress", false, "print per-iteration progress to stderr")
 		ridge     = flag.Float64("ridge", 0, "Tikhonov regularization weight")
@@ -136,7 +141,11 @@ func main() {
 		return
 	}
 
-	obsst, err := setupObs(*tracefile, *listen, *hold, *workers)
+	obsst, err := setupObs(obsConfig{
+		tracePath: *tracefile, listen: *listen, hold: *hold, workers: *workers,
+		audit: *auditRun, auditFile: *auditFile, auditWarn: *auditWarn,
+		logJSON: *logJSON, logFile: *logFile,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -174,8 +183,12 @@ func main() {
 			fatal(err)
 		}
 	}
+	auditRec := obsst.latestAudit()
+	if *auditRun && auditRec == nil {
+		fmt.Fprintln(os.Stderr, "cpd: -audit: no model decision recorded (auditing needs -engine adaptive without a strategy override)")
+	}
 	if *jsonOut {
-		if err := writeReport(os.Stdout, *engName, *rank, res); err != nil {
+		if err := writeReport(os.Stdout, *engName, *rank, res, auditRec); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -188,6 +201,9 @@ func main() {
 		fmt.Printf("total=%v mttkrp=%v (%.0f%%)\n", res.TotalTime.Round(1e6), res.MTTKRPTime.Round(1e6),
 			100*float64(res.MTTKRPTime)/float64(res.TotalTime))
 		fmt.Printf("lambda=%v\n", res.Lambda)
+		if *auditRun && auditRec != nil {
+			fmt.Print(auditRec.String())
+		}
 	}
 
 	if *modelPath != "" {
@@ -288,9 +304,12 @@ type runReport struct {
 	FitTrace   []float64       `json:"fit_trace,omitempty"`
 	Stats      *adatm.RunStats `json:"stats,omitempty"`
 	PhaseSumNS int64           `json:"phase_sum_ns,omitempty"`
+	// Audit is the model-audit decision and reconciliation of an audited
+	// adaptive run (-audit/-auditfile/-listen with -engine adaptive).
+	Audit *adatm.AuditRecord `json:"audit,omitempty"`
 }
 
-func writeReport(w *os.File, engName string, rank int, res *adatm.Result) error {
+func writeReport(w *os.File, engName string, rank int, res *adatm.Result, auditRec *adatm.AuditRecord) error {
 	rep := runReport{
 		Engine:    engName,
 		Rank:      rank,
@@ -303,6 +322,7 @@ func writeReport(w *os.File, engName string, rank int, res *adatm.Result) error 
 		Lambda:    res.Lambda,
 		FitTrace:  res.FitTrace,
 		Stats:     res.Stats,
+		Audit:     auditRec,
 	}
 	if res.Stats != nil {
 		rep.PhaseSumNS = res.Stats.PhaseTimeSum().Nanoseconds()

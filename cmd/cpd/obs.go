@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -12,13 +14,42 @@ import (
 	"adatm/internal/obs"
 )
 
+// obsConfig collects the observability flags of one CLI run.
+type obsConfig struct {
+	tracePath string  // -tracefile: Chrome trace-event output
+	listen    string  // -listen: debug server address
+	hold      bool    // -hold: keep the server up after the run
+	workers   int     // parallel width (names the tracer tracks)
+	audit     bool    // -audit: print the reconciliation table
+	auditFile string  // -auditfile: JSONL decision ledger
+	auditWarn float64 // -auditwarn: |rel err| warning threshold
+	logJSON   bool    // -logjson: structured JSON log events to stderr
+	logFile   string  // -logfile: structured JSON log events to this file
+}
+
+// enabled reports whether any observability feature was requested.
+func (c obsConfig) enabled() bool {
+	return c.tracePath != "" || c.listen != "" || c.wantAudit()
+}
+
+// wantAudit reports whether the run needs a model-audit recorder: any audit
+// or logging flag, or a debug server (which serves the decision at /plan and
+// the adatm_model_* gauges at /metrics).
+func (c obsConfig) wantAudit() bool {
+	return c.audit || c.auditFile != "" || c.logJSON || c.logFile != "" || c.listen != ""
+}
+
 // obsState bundles the optional observability wiring of one CLI run: the
-// span tracer behind -tracefile and the metrics registry + live debug
-// server behind -listen.
+// span tracer behind -tracefile, the metrics registry + live debug server
+// behind -listen, and the model-audit recorder behind -audit/-auditfile/
+// -logjson/-logfile.
 type obsState struct {
 	tracer    *adatm.Tracer
 	metrics   *adatm.Metrics
 	server    *adatm.DebugServer
+	audit     *adatm.AuditRecorder
+	auditFile *os.File
+	logFile   *os.File
 	tracePath string
 	hold      bool
 	started   time.Time
@@ -37,19 +68,23 @@ type runSnapshot struct {
 	MTTKRPMS  int64   `json:"mttkrp_ms"`
 	Done      bool    `json:"done"`
 	Converged bool    `json:"converged"`
+	// Audit carries the model-audit decision and reconciliation in the final
+	// snapshot of an audited run.
+	Audit *adatm.AuditRecord `json:"audit,omitempty"`
 }
 
-// setupObs builds the tracer/registry/server requested by the flags. Either
-// feature may be absent; a nil *obsState (no flags set) disables everything.
-func setupObs(tracePath, listen string, hold bool, workers int) (*obsState, error) {
-	if tracePath == "" && listen == "" {
+// setupObs builds the tracer/registry/server/audit-recorder requested by the
+// flags. Any feature may be absent; a nil *obsState (no flags set) disables
+// everything.
+func setupObs(cfg obsConfig) (*obsState, error) {
+	if !cfg.enabled() {
 		return nil, nil
 	}
-	o := &obsState{tracePath: tracePath, hold: hold, started: time.Now()}
-	if tracePath != "" {
+	o := &obsState{tracePath: cfg.tracePath, hold: cfg.hold, started: time.Now()}
+	if cfg.tracePath != "" {
 		o.tracer = adatm.NewTracer(0)
 		o.tracer.SetTrackName(0, "main")
-		w := workers
+		w := cfg.workers
 		if w <= 0 {
 			w = runtime.GOMAXPROCS(0)
 		}
@@ -58,10 +93,10 @@ func setupObs(tracePath, listen string, hold bool, workers int) (*obsState, erro
 		}
 		adatm.TraceChunks(o.tracer)
 	}
-	if listen != "" {
+	if cfg.listen != "" {
 		o.metrics = adatm.NewMetrics()
 		obs.RegisterRuntimeMetrics(o.metrics)
-		srv, err := adatm.ServeDebug(listen, o.metrics)
+		srv, err := adatm.ServeDebug(cfg.listen, o.metrics)
 		if err != nil {
 			return nil, fmt.Errorf("debug server: %w", err)
 		}
@@ -69,16 +104,70 @@ func setupObs(tracePath, listen string, hold bool, workers int) (*obsState, erro
 		o.metrics.PublishExpvar("adatm")
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
 	}
+	if cfg.wantAudit() {
+		if err := o.setupAudit(cfg); err != nil {
+			o.closeFiles()
+			if o.server != nil {
+				o.server.Close()
+			}
+			return nil, err
+		}
+	}
 	return o, nil
 }
 
-// options fills the Tracer/Metrics fields of opt.
+// setupAudit wires the model-audit recorder: JSON logger (stderr or -logfile),
+// JSONL ledger (-auditfile), the metrics registry, and the /plan publisher.
+func (o *obsState) setupAudit(cfg obsConfig) error {
+	acfg := adatm.AuditConfig{WarnThreshold: cfg.auditWarn, Metrics: o.metrics}
+	if cfg.logJSON || cfg.logFile != "" {
+		dest := io.Writer(os.Stderr)
+		if cfg.logFile != "" {
+			f, err := os.Create(cfg.logFile)
+			if err != nil {
+				return fmt.Errorf("logfile: %w", err)
+			}
+			o.logFile = f
+			dest = f
+		}
+		acfg.Logger = slog.New(slog.NewJSONHandler(dest, nil))
+	}
+	if cfg.auditFile != "" {
+		f, err := os.Create(cfg.auditFile)
+		if err != nil {
+			return fmt.Errorf("auditfile: %w", err)
+		}
+		o.auditFile = f
+		acfg.Ledger = f
+	}
+	if srv := o.server; srv != nil {
+		acfg.OnUpdate = func(rec adatm.AuditRecord) { srv.SetPlan(rec) }
+	}
+	o.audit = adatm.NewAuditRecorder(acfg)
+	return nil
+}
+
+// options fills the Tracer/Metrics/Audit fields of opt.
 func (o *obsState) options(opt *adatm.Options) {
 	if o == nil {
 		return
 	}
 	opt.Tracer = o.tracer
 	opt.Metrics = o.metrics
+	opt.Audit = o.audit
+}
+
+// latestAudit returns the run's audit record, or nil when no decision was
+// recorded (no recorder, or a non-adaptive engine ran).
+func (o *obsState) latestAudit() *adatm.AuditRecord {
+	if o == nil || o.audit == nil {
+		return nil
+	}
+	rec := o.audit.Latest()
+	if rec.Decision == nil {
+		return nil
+	}
+	return &rec
 }
 
 // progress wraps the per-iteration callback so /run always serves a live
@@ -100,10 +189,11 @@ func (o *obsState) progress(engName string, rank int, inner func(adatm.IterStats
 }
 
 // finish writes the Chrome trace file, publishes the final /run snapshot,
-// optionally holds the debug server open until SIGINT/SIGTERM, and shuts
-// the server down. Idempotent and safe on a nil receiver. A nil result marks
-// an error exit: the trace is still flushed (failed runs are exactly the ones
-// worth tracing) but -hold is skipped so scripted runs don't hang on failure.
+// optionally holds the debug server open until SIGINT/SIGTERM, shuts the
+// server down, and closes the audit/log files. Idempotent and safe on a nil
+// receiver. A nil result marks an error exit: the trace is still flushed
+// (failed runs are exactly the ones worth tracing) but -hold is skipped so
+// scripted runs don't hang on failure.
 func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
 	if o == nil || o.done {
 		return
@@ -123,6 +213,7 @@ func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
 				Engine: engName, Rank: rank, Iter: res.Iters, Fit: res.Fit,
 				ElapsedMS: time.Since(o.started).Milliseconds(), MTTKRPMS: res.MTTKRPTime.Milliseconds(),
 				Done: true, Converged: res.Converged,
+				Audit: o.latestAudit(),
 			})
 		}
 		if o.hold && res != nil {
@@ -132,6 +223,19 @@ func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
 			<-ch
 		}
 		o.server.Close()
+	}
+	o.closeFiles()
+}
+
+// closeFiles closes the -auditfile and -logfile handles (nil-safe).
+func (o *obsState) closeFiles() {
+	if o.auditFile != nil {
+		o.auditFile.Close()
+		o.auditFile = nil
+	}
+	if o.logFile != nil {
+		o.logFile.Close()
+		o.logFile = nil
 	}
 }
 

@@ -26,7 +26,7 @@ func TestWriteReportPhaseSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeReport(f, "coo", 8, res); err != nil {
+	if err := writeReport(f, "coo", 8, res, nil); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()

@@ -1,0 +1,95 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Record is one ledger entry: a decision plus (once the run finished) its
+// reconciliation. Sweeps accumulate one entry per reconciled candidate.
+type Record struct {
+	Decision *Decision `json:"decision"`
+	Report   *Report   `json:"report,omitempty"`
+}
+
+// String renders the record for human consumption: the decision summary
+// followed by the reconciliation table (when present).
+func (rec Record) String() string {
+	if rec.Decision == nil {
+		return "audit: no decision recorded\n"
+	}
+	d := rec.Decision
+	s := fmt.Sprintf("decision: dims=%v nnz=%d rank=%d budget=%s chosen=%s reason=%s candidates=%d\n",
+		d.Dims, d.NNZ, d.Rank, fmtBytes(d.Budget), d.Chosen, d.Reason, len(d.Candidates))
+	if rec.Report != nil {
+		s += rec.Report.String()
+	}
+	return s
+}
+
+// Ledger appends Records as JSONL (one JSON object per line) to a writer —
+// the durable decision history sweeps and long-running services accumulate.
+// Safe for concurrent Append. A nil *Ledger no-ops.
+type Ledger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewLedger wraps w; a nil writer yields a nil (no-op) ledger.
+func NewLedger(w io.Writer) *Ledger {
+	if w == nil {
+		return nil
+	}
+	return &Ledger{w: w}
+}
+
+// Append writes one record as a single JSON line.
+func (l *Ledger) Append(rec Record) error {
+	if l == nil {
+		return nil
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(data)
+	return err
+}
+
+// ValidateLedger checks a JSONL decision ledger: every non-empty line must
+// parse as a Record carrying a decision with a chosen candidate. Returns the
+// number of valid records, stopping at the first malformed line.
+func ValidateLedger(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
+	n := 0
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(text, &rec); err != nil {
+			return n, fmt.Errorf("audit: ledger line %d: %w", line, err)
+		}
+		if rec.Decision == nil {
+			return n, fmt.Errorf("audit: ledger line %d: missing decision", line)
+		}
+		if rec.Decision.Chosen == "" {
+			return n, fmt.Errorf("audit: ledger line %d: decision has no chosen candidate", line)
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"time"
 
+	"adatm/internal/audit"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
 	"adatm/internal/obs"
@@ -67,6 +68,12 @@ type Options struct {
 	// Metrics, when non-nil, receives per-phase latency histograms and the
 	// iteration/fit run gauges (metric names adatm_cpd_*).
 	Metrics *obs.Registry
+	// Audit, when non-nil, reconciles the cost model's selection decision
+	// against the run's measured counters at run end (adaptive engines
+	// deposit their Decision at construction time). The uninstrumented path
+	// is one pointer test; all audit work happens outside the iteration
+	// loop, so the steady state stays allocation-free.
+	Audit *audit.Recorder
 }
 
 // epsMU guards the multiplicative-update denominator against division by
@@ -156,9 +163,19 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 	m := dense.New(maxDim(x.Dims), r) // MTTKRP output, reused across modes
 	h := dense.New(r, r)
 
+	// auditBase snapshots the engine counters before the first iteration so
+	// reconciliation works on this run's deltas even when the caller reuses
+	// an engine across runs.
+	var auditBase engine.Stats
+	if opt.Audit != nil {
+		auditBase = eng.Stats()
+	}
+
 	// finish seals the result on every exit path: the λ vector, the total
 	// stopwatch, and (when collecting) the symbolic phase copied from the
-	// engine plus the steady-state allocation counters.
+	// engine plus the steady-state allocation counters. The audit
+	// reconciliation runs last, after the steady-state memstats read, so its
+	// (one-time, end-of-run) allocations never pollute the steady counters.
 	var memBase runtime.MemStats
 	memBased := false
 	finish := func() {
@@ -174,6 +191,9 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 				res.Stats.SteadyAllocBytes = int64(ms.TotalAlloc - memBase.TotalAlloc)
 				res.Stats.SteadyIters = int64(res.Iters) - 1
 			}
+		}
+		if opt.Audit != nil && res.Iters > 0 {
+			opt.Audit.Reconcile(measuredFrom(eng.Stats(), auditBase, res))
 		}
 	}
 
@@ -283,6 +303,28 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 	}
 	finish()
 	return res, nil
+}
+
+// measuredFrom converts the run's engine-counter deltas and per-phase
+// breakdown into the audit layer's Measured record: totals averaged per
+// completed iteration so they are comparable with the model's per-iteration
+// predictions.
+func measuredFrom(s, base engine.Stats, res *Result) audit.Measured {
+	iters := float64(res.Iters)
+	m := audit.Measured{
+		Iters:                res.Iters,
+		OpsPerIter:           float64(s.HadamardOps-base.HadamardOps) / iters,
+		MTTKRPSecondsPerIter: float64(s.MTTKRPNS-base.MTTKRPNS) / 1e9 / iters,
+		PeakValueBytes:       s.PeakValueBytes,
+		IndexBytes:           s.IndexBytes,
+	}
+	if res.Stats != nil {
+		m.PhaseSeconds = make(map[string]float64, NumPhases)
+		for p := Phase(0); p < NumPhases; p++ {
+			m.PhaseSeconds[p.String()] = res.Stats.Phases[p].Time.Seconds()
+		}
+	}
+	return m
 }
 
 // sweepOrder validates the sub-iteration mode order (nil = natural).

@@ -3,10 +3,12 @@ package engine_test
 import (
 	"testing"
 
+	"adatm/internal/audit"
 	"adatm/internal/csf"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
 	"adatm/internal/memo"
+	"adatm/internal/model"
 	"adatm/internal/obs"
 	"adatm/internal/par"
 	"adatm/internal/tensor"
@@ -30,6 +32,13 @@ func TestInstrumentedSteadyStateZeroAlloc(t *testing.T) {
 	reg := obs.NewRegistry()
 	par.SetChunkTracer(tr)
 	defer par.SetChunkTracer(nil)
+
+	// An audit recorder exporting its gauges into the same registry must not
+	// disturb the hot path: the decision/reconciliation happens once, outside
+	// the sweep, and the gauges it sets are plain registry series.
+	rec := audit.NewRecorder(audit.Config{Metrics: reg})
+	rec.RecordDecision(audit.NewDecision(model.Select(x, model.Options{Rank: r})))
+	rec.Reconcile(audit.Measured{Iters: 1, OpsPerIter: 1000, PeakValueBytes: 1 << 10, IndexBytes: 1 << 10})
 
 	memoEng, err := memo.NewWithConfig(x, memo.Balanced(x.Order()), memo.Config{Workers: 1, RetainBuffers: true, Name: "memo-retain"})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"adatm"
+	"adatm/internal/audit"
 	"adatm/internal/memo"
 )
 
@@ -32,18 +33,25 @@ func E6Memory(cfg Config) *Table {
 	return t
 }
 
-// E7ModelAccuracy validates the cost model: predicted op counts vs the
-// engines' exact counters and vs measured time, plus whether the model's
-// chosen strategy is the measured-fastest.
+// E7ModelAccuracy validates the cost model through the audit layer: one
+// audit.Decision per tensor (the scored plan), one reconciliation per
+// candidate (measured ops from the engine's exact counters, measured time
+// from timed sweeps), and the table derived from the resulting audit
+// records — the same machinery production runs use, so the offline
+// validation and the always-on audit can never drift apart. With
+// Config.AuditW set (adabench -auditfile), every record is appended to the
+// JSONL decision ledger.
 func E7ModelAccuracy(cfg Config) *Table {
 	t := &Table{
 		ID:      "E7",
 		Title:   fmt.Sprintf("model accuracy (R=%d): prediction error, rank correlation, top-1 hit", cfg.rank()),
 		Columns: []string{"tensor", "max |pred-exact|/exact", "spearman(pred, time)", "model pick", "measured best", "top1", "penalty"},
 	}
+	ledger := audit.NewLedger(cfg.AuditW)
 	for _, ds := range ProfileSuite(cfg) {
 		x := ds.X
 		plan := adatm.PlanFor(x, cfg.rank(), 0)
+		dec := audit.NewDecision(plan)
 		var predOps, measured []float64
 		var names []string
 		maxRelErr := 0.0
@@ -53,13 +61,24 @@ func E7ModelAccuracy(cfg Config) *Table {
 				panic(err)
 			}
 			exact := eng.PerIterationOps(cfg.rank())
-			relErr := math.Abs(float64(c.Pred.Ops-exact)) / float64(exact)
-			if relErr > maxRelErr {
-				maxRelErr = relErr
-			}
 			d := TimeSweeps(eng, x, cfg.rank(), 2, 19)
+			s := eng.Stats()
+			rep := audit.ReconcileCandidate(dec, c.Name, audit.Measured{
+				Iters:                1,
+				OpsPerIter:           float64(exact),
+				MTTKRPSecondsPerIter: d.Seconds(),
+				PeakValueBytes:       s.PeakValueBytes,
+				IndexBytes:           s.IndexBytes,
+			}, 0)
+			if err := ledger.Append(audit.Record{Decision: dec, Report: rep}); err != nil {
+				panic(err)
+			}
+			q, _ := rep.Quantity(audit.QOpsPerIter)
+			if re := math.Abs(q.RelErr); re > maxRelErr {
+				maxRelErr = re
+			}
 			predOps = append(predOps, float64(c.Pred.Ops))
-			measured = append(measured, float64(d))
+			measured = append(measured, d.Seconds())
 			names = append(names, c.Name)
 		}
 		bestIdx := 0
@@ -82,7 +101,8 @@ func E7ModelAccuracy(cfg Config) *Table {
 	}
 	t.Notes = append(t.Notes,
 		"pred-exact error isolates the sketch (the op formula is exact given exact counts)",
-		"penalty = time(model pick)/time(measured best) − 1")
+		"penalty = time(model pick)/time(measured best) − 1",
+		"each (decision, candidate) pair is an audit.Record; adabench -auditfile captures them as JSONL")
 	return t
 }
 

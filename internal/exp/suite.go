@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"sort"
 	"time"
@@ -24,6 +25,10 @@ type Config struct {
 	Rank int
 	// Seed offsets the generator seeds for robustness runs.
 	Seed int64
+	// AuditW, when non-nil, receives the model-audit decision ledger (JSONL
+	// audit.Records) from the experiments that exercise the cost model
+	// (E7); adabench wires its -auditfile here.
+	AuditW io.Writer
 }
 
 func (c Config) rank() int {

@@ -11,6 +11,7 @@ import (
 type Estimator struct {
 	order int
 	nnz   int64
+	dims  []int
 	// counts[rangeID(lo,hi)] = estimated distinct tuples of modes [lo,hi).
 	counts []int64
 	exact  bool
@@ -27,7 +28,7 @@ func NewEstimator(x *tensor.COO, k int) *Estimator {
 		k = 1024
 	}
 	n := x.Order()
-	e := &Estimator{order: n, nnz: int64(x.NNZ()), counts: make([]int64, n*n)}
+	e := &Estimator{order: n, nnz: int64(x.NNZ()), dims: append([]int(nil), x.Dims...), counts: make([]int64, n*n)}
 	sketches := make([]*kmv, n*n)
 	for lo := 0; lo < n; lo++ {
 		for hi := lo + 1; hi <= n; hi++ {
@@ -60,7 +61,7 @@ func NewEstimator(x *tensor.COO, k int) *Estimator {
 // O(nnz · N²) transient memory.
 func NewExactEstimator(x *tensor.COO) *Estimator {
 	n := x.Order()
-	e := &Estimator{order: n, nnz: int64(x.NNZ()), counts: make([]int64, n*n), exact: true}
+	e := &Estimator{order: n, nnz: int64(x.NNZ()), dims: append([]int(nil), x.Dims...), counts: make([]int64, n*n), exact: true}
 	for lo := 0; lo < n; lo++ {
 		set := make(map[uint64]struct{})
 		for hi := lo + 1; hi <= n; hi++ {
@@ -82,6 +83,31 @@ func NewExactEstimator(x *tensor.COO) *Estimator {
 
 // Order returns the tensor order the estimator was built for.
 func (e *Estimator) Order() int { return e.order }
+
+// Dims returns the mode dimensions of the underlying tensor (in the
+// estimator's mode order).
+func (e *Estimator) Dims() []int { return e.dims }
+
+// RangeCount is one entry of the estimator's distinct-tuple table: the
+// (estimated) number of distinct index tuples of modes [Lo, Hi).
+type RangeCount struct {
+	Lo    int   `json:"lo"`
+	Hi    int   `json:"hi"`
+	Count int64 `json:"count"`
+}
+
+// Ranges returns the full distinct-tuple table — every contiguous mode range
+// [lo, hi), in (lo, hi) order. These counts are the inputs of the op and
+// memory models, so the audit layer records them with each decision.
+func (e *Estimator) Ranges() []RangeCount {
+	out := make([]RangeCount, 0, e.order*(e.order+1)/2)
+	for lo := 0; lo < e.order; lo++ {
+		for hi := lo + 1; hi <= e.order; hi++ {
+			out = append(out, RangeCount{Lo: lo, Hi: hi, Count: e.counts[rangeID(lo, hi, e.order)]})
+		}
+	}
+	return out
+}
 
 // NNZ returns the nonzero count of the underlying tensor.
 func (e *Estimator) NNZ() int64 { return e.nnz }

@@ -1,0 +1,84 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"adatm/internal/tensor"
+)
+
+// Plan.String must render every candidate with the chosen marker, and
+// announce the budget fallback when nothing fit.
+func TestPlanReport(t *testing.T) {
+	x := tensor.RandomClustered(4, 12, 800, 0.6, 51)
+
+	plan := Select(x, Options{Rank: 8})
+	s := plan.String()
+	if !strings.Contains(s, "plan: order=4 rank=8 budget=-") {
+		t.Errorf("header wrong:\n%s", s)
+	}
+	for _, c := range plan.Candidates {
+		if !strings.Contains(s, c.Name) {
+			t.Errorf("candidate %q missing:\n%s", c.Name, s)
+		}
+	}
+	if strings.Count(s, "<= chosen") != 1 {
+		t.Errorf("chosen marker count != 1:\n%s", s)
+	}
+	if strings.Contains(s, "budget fallback") {
+		t.Errorf("unbounded plan claims a fallback:\n%s", s)
+	}
+	if plan.Reason() != "op-optimal" {
+		t.Errorf("Reason = %q, want op-optimal", plan.Reason())
+	}
+
+	// A 1-byte budget fits nothing: the fallback must be chosen and reported.
+	forced := Select(x, Options{Rank: 8, Budget: 1})
+	if !forced.BudgetFallback {
+		t.Fatal("1-byte budget did not force a fallback")
+	}
+	fs := forced.String()
+	if !strings.Contains(fs, "budget fallback: no candidate fits 1B") {
+		t.Errorf("fallback notice missing:\n%s", fs)
+	}
+	if strings.Count(fs, "<= chosen") != 1 {
+		t.Errorf("fallback plan lost its chosen marker:\n%s", fs)
+	}
+	if forced.Reason() != "budget-fallback" {
+		t.Errorf("Reason = %q, want budget-fallback", forced.Reason())
+	}
+	// The forced choice is the smallest-footprint candidate.
+	best := forced.Candidates[0]
+	for _, c := range forced.Candidates {
+		if c.Pred.IndexBytes+c.Pred.PeakValueBytes < best.Pred.IndexBytes+best.Pred.PeakValueBytes {
+			best = c
+		}
+	}
+	if forced.Chosen.Name != best.Name {
+		t.Errorf("fallback chose %q, smallest footprint is %q", forced.Chosen.Name, best.Name)
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want string
+	}{
+		{0, "-"},
+		{-5, "-"},
+		{1, "1B"},
+		{1023, "1023B"},
+		{1 << 10, "1.0KiB"},
+		{1<<20 - 1, "1024.0KiB"},
+		{1 << 20, "1.0MiB"},
+		{5 << 20, "5.0MiB"},
+		{1<<30 - 1, "1024.0MiB"},
+		{1 << 30, "1.00GiB"},
+		{3 << 30, "3.00GiB"},
+	}
+	for _, c := range cases {
+		if got := fmtBytes(c.in); got != c.want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"time"
 
 	"adatm/internal/memo"
 	"adatm/internal/tensor"
@@ -16,15 +17,31 @@ type Candidate struct {
 	Name     string
 	Strategy *memo.Strategy
 	Pred     Prediction
+	// PredTime is the roofline time-model forecast; zero unless selection
+	// ranked by predicted time (SelectByTime).
+	PredTime time.Duration
 	Feasible bool
 }
 
 // Plan is the selector's full output: every candidate it scored (sorted by
-// predicted ops) and the chosen one.
+// predicted ops) and the chosen one. Beyond the choice itself, the plan
+// records everything the audit layer needs to reconcile the decision against
+// measurements later: the tensor shape, the estimator's distinct-tuple table
+// (the model's inputs), and why the chosen candidate won.
 type Plan struct {
 	Order      int
 	Rank       int
 	Budget     int64 // bytes; <= 0 means unbounded
+	Dims       []int // mode dimensions (selector's mode order)
+	NNZ        int64
+	Exact      bool // distinct counts were exact, not sketched
+	ByTime     bool // ranked by the roofline time model, not op counts
+	// BudgetFallback reports that no candidate fit the budget and the
+	// smallest-footprint candidate was chosen instead of the op-optimal one.
+	BudgetFallback bool
+	// Ranges is the estimator's distinct-tuple table (all contiguous mode
+	// ranges) — the raw inputs the predictions were computed from.
+	Ranges     []RangeCount
 	Candidates []Candidate
 	Chosen     Candidate
 }
@@ -65,7 +82,10 @@ func SelectWithEstimator(est *Estimator, opt Options) *Plan {
 	if rank <= 0 {
 		rank = 16
 	}
-	plan := &Plan{Order: n, Rank: rank, Budget: opt.Budget}
+	plan := &Plan{
+		Order: n, Rank: rank, Budget: opt.Budget,
+		Dims: est.Dims(), NNZ: est.NNZ(), Exact: est.Exact(), Ranges: est.Ranges(),
+	}
 
 	add := func(name string, s *memo.Strategy) {
 		pred := Predict(est, s, rank)
@@ -103,6 +123,7 @@ func SelectWithEstimator(est *Estimator, opt Options) *Plan {
 	if chosen < 0 {
 		// Nothing fits the budget: fall back to the candidate with the
 		// smallest footprint (flat is typically the floor).
+		plan.BudgetFallback = true
 		best := 0
 		for i, c := range plan.Candidates {
 			if c.Pred.IndexBytes+c.Pred.PeakValueBytes <
@@ -169,6 +190,21 @@ func dpBinary(est *Estimator, rank int) *memo.Strategy {
 	return memo.BinaryFromSplits(n, func(lo, hi int) int { return split[lo][hi] })
 }
 
+// Reason names why the chosen candidate won, in the vocabulary the audit
+// ledger records: "op-optimal" (cheapest feasible by predicted ops),
+// "time-optimal" (cheapest feasible by the roofline time model), or
+// "budget-fallback" (nothing fit; smallest footprint chosen).
+func (p *Plan) Reason() string {
+	switch {
+	case p.BudgetFallback:
+		return "budget-fallback"
+	case p.ByTime:
+		return "time-optimal"
+	default:
+		return "op-optimal"
+	}
+}
+
 // String renders the plan as a small report table.
 func (p *Plan) String() string {
 	var b strings.Builder
@@ -181,6 +217,9 @@ func (p *Plan) String() string {
 		}
 		fmt.Fprintf(&b, "%-12s %-28s %14d %12s %12s %-5v%s\n",
 			c.Name, c.Strategy, c.Pred.Ops, fmtBytes(c.Pred.IndexBytes), fmtBytes(c.Pred.PeakValueBytes), c.Feasible, mark)
+	}
+	if p.BudgetFallback {
+		fmt.Fprintf(&b, "budget fallback: no candidate fits %s; chose the smallest footprint\n", fmtBytes(p.Budget))
 	}
 	return b.String()
 }

@@ -136,15 +136,29 @@ func SelectByTime(x *tensor.COO, opt Options, c Coeffs) *Plan {
 	}
 	plan := SelectWithEstimator(est, opt)
 	// Re-rank by predicted time; re-choose the cheapest feasible.
-	times := make(map[string]time.Duration, len(plan.Candidates))
-	for _, cand := range plan.Candidates {
-		times[cand.Name] = PredictTime(est, cand.Strategy, plan.Rank, c)
+	plan.ByTime = true
+	for i := range plan.Candidates {
+		cand := &plan.Candidates[i]
+		cand.PredTime = PredictTime(est, cand.Strategy, plan.Rank, c)
 	}
-	sortCandidatesBy(plan, func(a, b Candidate) bool { return times[a.Name] < times[b.Name] })
+	sortCandidatesBy(plan, func(a, b Candidate) bool { return a.PredTime < b.PredTime })
+	found := false
 	for _, cand := range plan.Candidates {
 		if cand.Feasible {
 			plan.Chosen = cand
+			plan.BudgetFallback = false
+			found = true
 			break
+		}
+	}
+	if !found {
+		// Budget fallback: keep SelectWithEstimator's smallest-footprint
+		// choice, refreshed from the slice so it carries its PredTime.
+		for _, cand := range plan.Candidates {
+			if cand.Name == plan.Chosen.Name {
+				plan.Chosen = cand
+				break
+			}
 		}
 	}
 	return plan

@@ -1,15 +1,23 @@
 package obs
 
-import "runtime"
+import (
+	"runtime"
+	"runtime/debug"
+)
 
 // RegisterRuntimeMetrics exports process-level Go runtime gauges into reg:
-// heap footprint, goroutine count, and GC activity. ReadMemStats stops the
-// world briefly, so these are callback metrics evaluated per scrape, not on
-// the compute path. Safe on a nil registry.
+// heap footprint, goroutine count, GC activity, and the standard
+// build-metadata gauge (adatm_build_info, value 1, identity in the labels)
+// so scrapes can tell which binary they are talking to. ReadMemStats stops
+// the world briefly, so the memory series are callback metrics evaluated
+// per scrape, not on the compute path. Safe on a nil registry.
 func RegisterRuntimeMetrics(reg *Registry) {
 	if reg == nil {
 		return
 	}
+	reg.Gauge("adatm_build_info",
+		"Build metadata of the running binary (value is always 1; identity is in the labels).",
+		buildInfoLabels()).Set(1)
 	mem := func(pick func(*runtime.MemStats) float64) func() float64 {
 		return func() float64 {
 			var ms runtime.MemStats
@@ -29,4 +37,29 @@ func RegisterRuntimeMetrics(reg *Registry) {
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	reg.GaugeFunc("adatm_go_maxprocs", "GOMAXPROCS at scrape time.", nil,
 		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+}
+
+// buildInfoLabels reads the binary's identity from the embedded build info:
+// the Go toolchain version, the main-module version, and the VCS revision
+// when the binary was built from a checkout. Missing fields degrade to
+// "unknown" rather than being omitted, so the label set is stable.
+func buildInfoLabels() Labels {
+	l := Labels{
+		"goversion": runtime.Version(),
+		"version":   "unknown",
+		"revision":  "unknown",
+	}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return l
+	}
+	if bi.Main.Version != "" {
+		l["version"] = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && s.Value != "" {
+			l["revision"] = s.Value
+		}
+	}
+	return l
 }

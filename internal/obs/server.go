@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
@@ -11,14 +12,16 @@ import (
 )
 
 // Server is the live debug endpoint: /metrics (Prometheus text format),
-// /healthz, /run (JSON snapshot of the in-flight run), /debug/pprof/* and
-// /debug/vars. It binds immediately (addr ":0" picks a free port — read the
-// resolved one back from Addr) and serves until Close.
+// /healthz, /run (JSON snapshot of the in-flight run), /plan (the latest
+// model-audit decision+report), /debug/pprof/* and /debug/vars. It binds
+// immediately (addr ":0" picks a free port — read the resolved one back
+// from Addr) and serves until Close.
 type Server struct {
-	ln  net.Listener
-	srv *http.Server
-	reg *Registry
-	run atomic.Value // latest SetRun payload (any JSON-marshalable value)
+	ln   net.Listener
+	srv  *http.Server
+	reg  *Registry
+	run  atomic.Value // latest SetRun payload (any JSON-marshalable value)
+	plan atomic.Value // latest SetPlan payload (any JSON-marshalable value)
 }
 
 // Serve binds addr and starts serving the debug endpoints in a background
@@ -33,6 +36,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/plan", s.handlePlan)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -52,8 +56,28 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // snapshots, not live mutable state.
 func (s *Server) SetRun(v any) { s.run.Store(v) }
 
-// Close shuts the server down.
-func (s *Server) Close() error { return s.srv.Close() }
+// SetPlan publishes the latest model-audit payload served at /plan —
+// typically an audit.Record (the selection decision, then decision+report
+// once the run reconciles). Same immutability rule as SetRun: the value is
+// marshaled at request time, so pass snapshots that are never mutated after
+// publication.
+func (s *Server) SetPlan(v any) { s.plan.Store(v) }
+
+// closeTimeout bounds the graceful drain in Close. Debug-endpoint responses
+// are small and fast; anything still in flight after this long is wedged.
+const closeTimeout = 2 * time.Second
+
+// Close shuts the server down gracefully: in-flight requests (a /metrics
+// scrape racing process exit) get closeTimeout to complete before the
+// connections are forcibly closed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeTimeout)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -66,8 +90,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.run.Load())
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.plan.Load())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	v := s.run.Load()
 	if v == nil {
 		w.Write([]byte("{}\n")) //nolint:errcheck
 		return

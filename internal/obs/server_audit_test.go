@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The /plan endpoint mirrors /run: empty object before any publication,
+// then the latest SetPlan payload as indented JSON.
+func TestServerPlanEndpoint(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/plan")
+	if code != 200 || strings.TrimSpace(body) != "{}" {
+		t.Errorf("/plan (empty) = %d %q", code, body)
+	}
+
+	srv.SetPlan(map[string]any{"chosen": "2group@2", "rel_err": 0.05})
+	_, body = get(t, base+"/plan")
+	var plan map[string]any
+	if err := json.Unmarshal([]byte(body), &plan); err != nil {
+		t.Fatalf("/plan not JSON: %v\n%s", err, body)
+	}
+	if plan["chosen"] != "2group@2" || plan["rel_err"] != 0.05 {
+		t.Errorf("/plan = %v", plan)
+	}
+}
+
+// Close must drain in-flight requests rather than sever them: a /metrics
+// scrape racing shutdown still gets its complete response. The scrape is
+// held open deliberately with a gauge callback that blocks inside the
+// registry render until the test has initiated Close.
+func TestCloseDrainsInflightScrape(t *testing.T) {
+	reg := NewRegistry()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	reg.GaugeFunc("adatm_test_blocking_gauge", "Blocks the scrape until released.", nil, func() float64 {
+		once.Do(func() { close(entered) })
+		<-release
+		return 1
+	})
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		code int
+		body string
+	}
+	scraped := make(chan scrape, 1)
+	go func() {
+		code, body := get(t, "http://"+srv.Addr()+"/metrics")
+		scraped <- scrape{code, body}
+	}()
+
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never reached the blocking gauge")
+	}
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+	// Give Shutdown time to stop the listener and start waiting on the
+	// in-flight connection before the handler is allowed to finish.
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+
+	select {
+	case s := <-scraped:
+		if s.code != 200 || !strings.Contains(s.body, "adatm_test_blocking_gauge 1") {
+			t.Errorf("in-flight scrape across Close = %d:\n%s", s.code, s.body)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scrape never completed")
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned")
+	}
+}
+
+// RegisterRuntimeMetrics must expose the standard build-info gauge: value 1,
+// identity in the labels, every label present even when build info is
+// unavailable.
+func TestBuildInfoMetric(t *testing.T) {
+	l := buildInfoLabels()
+	if l["goversion"] != runtime.Version() {
+		t.Errorf("goversion label = %q, want %q", l["goversion"], runtime.Version())
+	}
+	for _, k := range []string{"goversion", "version", "revision"} {
+		if l[k] == "" {
+			t.Errorf("label %q is empty", k)
+		}
+	}
+
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "adatm_build_info{") {
+		t.Fatalf("exposition missing adatm_build_info:\n%s", out)
+	}
+	for _, frag := range []string{`goversion="` + runtime.Version() + `"`, `version="`, `revision="`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("adatm_build_info missing %s", frag)
+		}
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "adatm_build_info{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("adatm_build_info value: %q, want 1", line)
+		}
+	}
+}

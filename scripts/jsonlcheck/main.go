@@ -1,0 +1,36 @@
+// Command jsonlcheck validates a model-audit decision ledger (JSONL): every
+// line must parse as an audit.Record carrying a decision with a chosen
+// candidate. Used by scripts/obs_smoke.sh so the smoke test needs no jq.
+//
+// Usage: go run ./scripts/jsonlcheck ledger.jsonl
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"adatm/internal/audit"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: jsonlcheck <ledger.jsonl>")
+		os.Exit(2)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonlcheck:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	n, err := audit.ValidateLedger(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jsonlcheck:", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "jsonlcheck: ledger is empty")
+		os.Exit(1)
+	}
+	fmt.Printf("jsonlcheck: %d valid records\n", n)
+}

@@ -21,6 +21,7 @@ go build -o "$tmp/cpd" ./cmd/cpd
 
 "$tmp/cpd" -in "$tmp/smoke.tns" -rank 4 -iters 3 -engine adaptive \
     -listen 127.0.0.1:0 -hold -tracefile "$tmp/trace.json" \
+    -audit -auditfile "$tmp/audit.jsonl" \
     >"$tmp/stdout" 2>"$tmp/stderr" &
 pid=$!
 
@@ -46,10 +47,27 @@ curl -fsS "http://$addr/healthz" | grep -q ok || { echo "obs-smoke: /healthz fai
 curl -fsS "http://$addr/metrics" >"$tmp/metrics"
 for series in adatm_memo_hits_total adatm_memo_misses_total \
     adatm_cpd_phase_seconds_bucket adatm_cpd_iterations_total \
-    adatm_par_chunk_imbalance_ratio adatm_go_goroutines; do
+    adatm_par_chunk_imbalance_ratio adatm_go_goroutines \
+    adatm_build_info adatm_model_predicted_ops adatm_model_measured_ops \
+    adatm_model_ops_relative_error adatm_model_top1_agreement; do
     grep -q "$series" "$tmp/metrics" || { echo "obs-smoke: /metrics missing $series"; cat "$tmp/metrics"; exit 1; }
 done
+# The relative-error gauge must carry a finite value (the reconciler clamps
+# degenerate measurements, so NaN/Inf in the exposition is a regression).
+grep '^adatm_model_ops_relative_error' "$tmp/metrics" | grep -qiE 'nan|inf' \
+    && { echo "obs-smoke: non-finite model relative error"; grep adatm_model "$tmp/metrics"; exit 1; }
 curl -fsS "http://$addr/run" | grep -q '"done": *true' || { echo "obs-smoke: /run missing final snapshot"; exit 1; }
+
+# /plan must serve the model-audit decision and its reconciliation: the
+# predicted/measured ops pair with a finite relative error, and a verdict.
+curl -fsS "http://$addr/plan" >"$tmp/plan"
+grep -q '"chosen"' "$tmp/plan" || { echo "obs-smoke: /plan missing decision"; cat "$tmp/plan"; exit 1; }
+grep -q '"name": *"ops_per_iter"' "$tmp/plan" || { echo "obs-smoke: /plan missing ops quantity"; cat "$tmp/plan"; exit 1; }
+grep -q '"predicted"' "$tmp/plan" || { echo "obs-smoke: /plan missing predictions"; cat "$tmp/plan"; exit 1; }
+grep -q '"measured"' "$tmp/plan" || { echo "obs-smoke: /plan missing measurements"; cat "$tmp/plan"; exit 1; }
+grep -q '"rel_err"' "$tmp/plan" || { echo "obs-smoke: /plan missing relative errors"; cat "$tmp/plan"; exit 1; }
+grep -q '"top1_agreement"' "$tmp/plan" || { echo "obs-smoke: /plan missing top-1 verdict"; cat "$tmp/plan"; exit 1; }
+grep -qiE '"rel_err": *"?(nan|-?inf)' "$tmp/plan" && { echo "obs-smoke: non-finite rel_err in /plan"; cat "$tmp/plan"; exit 1; }
 
 kill "$pid"
 wait "$pid" 2>/dev/null || true
@@ -59,4 +77,10 @@ pid=""
 grep -q '"traceEvents"' "$tmp/trace.json" || { echo "obs-smoke: trace file malformed"; exit 1; }
 grep -q '"displayTimeUnit"' "$tmp/trace.json" || { echo "obs-smoke: trace file malformed"; exit 1; }
 
-echo "obs-smoke: OK ($(wc -c <"$tmp/metrics") bytes of metrics, $(wc -c <"$tmp/trace.json") bytes of trace)"
+# The -audit table must have reached stdout with a verdict line.
+grep -q '^top-1: model' "$tmp/stdout" || { echo "obs-smoke: -audit table missing from stdout"; cat "$tmp/stdout"; exit 1; }
+
+# The decision ledger must be valid JSONL (decision + chosen candidate per line).
+go run ./scripts/jsonlcheck "$tmp/audit.jsonl" || { echo "obs-smoke: audit ledger invalid"; cat "$tmp/audit.jsonl"; exit 1; }
+
+echo "obs-smoke: OK ($(wc -c <"$tmp/metrics") bytes of metrics, $(wc -c <"$tmp/trace.json") bytes of trace, $(wc -l <"$tmp/audit.jsonl") ledger records)"
