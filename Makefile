@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-kernels obs-smoke ci fuzz experiments experiments-quick examples clean
+.PHONY: all build vet test test-race bench bench-smoke bench-kernels bench-mttkrp obs-smoke ci fuzz experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -22,7 +22,8 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # One iteration of every benchmark: catches bitrotted benchmark code in CI
-# without paying for real measurements.
+# without paying for real measurements. (This sweep includes the
+# scatter-vs-privatize MTTKRP benchmarks behind bench-mttkrp.)
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
 
@@ -34,6 +35,12 @@ obs-smoke:
 # Machine-readable microbenchmarks of the shared kernel layer.
 bench-kernels:
 	$(GO) test -bench=Kernel -benchmem -json -run='^$$' ./internal/kernel/ > BENCH_kernels.json
+
+# Machine-readable MTTKRP accumulation benchmarks: scatter vs privatize vs
+# auto, side by side, on a short-mode (contended) and a long-mode (sparse
+# output) tensor. See DESIGN.md §2f for the expected crossover.
+bench-mttkrp:
+	$(GO) test -bench=MTTKRPAccum -benchmem -json -run='^$$' ./internal/engine/ > BENCH_6.json
 
 ci:
 	./scripts/ci.sh

@@ -21,6 +21,7 @@ import (
 	"context"
 	"fmt"
 
+	"adatm/internal/accum"
 	"adatm/internal/audit"
 	"adatm/internal/coo"
 	"adatm/internal/cpd"
@@ -101,7 +102,26 @@ type (
 	AuditRecord = audit.Record
 	// AuditMeasured carries a run's measured counters for reconciliation.
 	AuditMeasured = audit.Measured
+	// AccumStrategy selects the MTTKRP output-accumulation backend:
+	// striped-lock scatter, per-worker privatized copies with a parallel
+	// reduction, or model-driven per-mode auto-selection.
+	AccumStrategy = accum.Strategy
 )
+
+// Accumulation backends for Options.Accum / EngineConfig.Accum.
+const (
+	// AccumAuto lets the cost model pick scatter or privatize per
+	// (engine, mode) — the default.
+	AccumAuto = accum.Auto
+	// AccumScatter forces in-place scatter accumulation.
+	AccumScatter = accum.Scatter
+	// AccumPrivatize forces per-worker privatized accumulation.
+	AccumPrivatize = accum.Privatize
+)
+
+// ParseAccumStrategy converts the CLI spelling ("auto", "scatter",
+// "privatize"; empty = auto) into an AccumStrategy.
+func ParseAccumStrategy(s string) (AccumStrategy, error) { return accum.Parse(s) }
 
 // Re-exported phase identifiers for reading RunStats.Phases.
 const (
@@ -198,6 +218,9 @@ type Options struct {
 	// MemoryBudget caps the adaptive engine's predicted auxiliary bytes
 	// (<= 0: unbounded). Ignored by non-adaptive engines.
 	MemoryBudget int64
+	// Accum selects the MTTKRP output-accumulation backend (default
+	// AccumAuto: the cost model decides per mode).
+	Accum AccumStrategy
 	// TrackFit retains the per-iteration fit trajectory in the result.
 	TrackFit bool
 	// Init supplies initial factor matrices (one I_n × Rank per mode);
@@ -240,7 +263,7 @@ func Decompose(x *Tensor, opt Options) (*Result, error) {
 	if kind == "" {
 		kind = EngineAdaptive
 	}
-	eng, plan, err := NewEnginePlanned(x, kind, EngineConfig{Rank: opt.Rank, Workers: opt.Workers, MemoryBudget: opt.MemoryBudget})
+	eng, plan, err := NewEnginePlanned(x, kind, EngineConfig{Rank: opt.Rank, Workers: opt.Workers, MemoryBudget: opt.MemoryBudget, Accum: opt.Accum})
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +356,13 @@ type EngineConfig struct {
 	// RetainBuffers keeps memoized value storage allocated across ALS
 	// iterations (steady memory at peak, zero per-iteration allocation).
 	RetainBuffers bool
+	// Accum selects the output-accumulation backend (default AccumAuto:
+	// per-mode model-driven choice; the adaptive kind takes its per-mode
+	// table from the plan).
+	Accum AccumStrategy
+	// accumPerMode carries the adaptive plan's resolved per-mode table to
+	// the engine constructor (internal plumbing, set by NewEnginePlanned).
+	accumPerMode []accum.Strategy
 }
 
 // NewEngine constructs the MTTKRP kernel of the given kind for x. The
@@ -357,15 +387,16 @@ func NewEnginePlanned(x *Tensor, kind EngineKind, cfg EngineConfig) (Engine, *Pl
 		return nil, nil, fmt.Errorf("adatm: %w", err)
 	}
 	n := x.Order()
+	acfg := accum.Config{Strategy: cfg.Accum, Workers: cfg.Workers, Budget: cfg.MemoryBudget}
 	switch kind {
 	case EngineCOO:
-		return coo.New(x, cfg.Workers), nil, nil
+		return coo.NewWithAccum(x, cfg.Workers, acfg), nil, nil
 	case EngineCSF:
 		return csf.NewAllMode(x, cfg.Workers), nil, nil
 	case EngineCSFOne:
 		return csf.NewSingle(x, cfg.Workers), nil, nil
 	case EngineHiCOO:
-		return hicoo.New(x, cfg.Workers), nil, nil
+		return hicoo.NewWithAccum(x, cfg.Workers, acfg), nil, nil
 	case EngineMemoFlat:
 		eng, err := memoEngine(x, cfg, memo.Flat(n), string(kind))
 		return eng, nil, err
@@ -383,8 +414,16 @@ func NewEnginePlanned(x *Tensor, kind EngineKind, cfg EngineConfig) (Engine, *Pl
 			eng, err := memoEngine(x, cfg, cfg.Strategy, string(kind))
 			return eng, nil, err
 		}
-		plan := PlanFor(x, cfg.Rank, cfg.MemoryBudget)
-		eng, err := memoEngine(x, cfg, plan.Chosen.Strategy, fmt.Sprintf("adaptive[%s]", plan.Chosen.Name))
+		plan := model.Select(x, model.Options{
+			Rank: cfg.Rank, Budget: cfg.MemoryBudget,
+			Workers: cfg.Workers, Accum: cfg.Accum,
+		})
+		// The plan resolved the accumulation backend per mode (budget slack
+		// already accounted for); hand the table to the engine so kernel
+		// entries don't re-derive it.
+		cfgP := cfg
+		cfgP.accumPerMode = plan.AccumPerMode()
+		eng, err := memoEngine(x, cfgP, plan.Chosen.Strategy, fmt.Sprintf("adaptive[%s]", plan.Chosen.Name))
 		if err != nil {
 			return nil, nil, err
 		}
@@ -398,7 +437,15 @@ func memoEngine(x *Tensor, cfg EngineConfig, s *Strategy, name string) (Engine, 
 	if cfg.Strategy != nil {
 		s = cfg.Strategy
 	}
-	return memo.NewWithConfig(x, s, memo.Config{Workers: cfg.Workers, Name: name, RetainBuffers: cfg.RetainBuffers})
+	return memo.NewWithConfig(x, s, memo.Config{
+		Workers: cfg.Workers, Name: name, RetainBuffers: cfg.RetainBuffers,
+		Accum: accum.Config{
+			Strategy: cfg.Accum,
+			PerMode:  cfg.accumPerMode,
+			Workers:  cfg.Workers,
+			Budget:   cfg.MemoryBudget,
+		},
+	})
 }
 
 // PlanFor runs the model-driven selection for x at the given rank and

@@ -39,6 +39,7 @@ func main() {
 		rank      = flag.Int("rank", 16, "CP rank for non-sweeping experiments")
 		workers   = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 0, "dataset seed offset")
+		accumStr  = flag.String("accum", "auto", "MTTKRP output accumulation: auto (model decides per mode), scatter, privatize")
 		auditFile = flag.String("auditfile", "", "write the model-audit decision ledger (JSONL) from model experiments (E7) to this file")
 	)
 	flag.Parse()
@@ -113,7 +114,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
 	}
 
-	cfg := exp.Config{Quick: *quick, Workers: *workers, Rank: *rank, Seed: *seed}
+	accumStrat, err := adatm.ParseAccumStrategy(*accumStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adabench:", err)
+		os.Exit(2)
+	}
+	cfg := exp.Config{Quick: *quick, Workers: *workers, Rank: *rank, Seed: *seed, Accum: accumStrat}
 	if *auditFile != "" {
 		f, err := os.Create(*auditFile)
 		if err != nil {

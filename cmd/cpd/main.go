@@ -35,6 +35,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
 		engName   = flag.String("engine", "adaptive", "engine: coo, csf, csf-one, hicoo, memo-flat, memo-2group, memo-balanced, adaptive")
 		budget    = flag.String("budget", "", "memory budget for the adaptive engine, e.g. 512MiB, 2GiB")
+		accumFlag = flag.String("accum", "auto", "MTTKRP output accumulation: auto (model decides per mode), scatter, privatize")
 		outPfx    = flag.String("out", "", "write factor matrices to <out>_mode<k>.txt and lambda to <out>_lambda.txt")
 		plan      = flag.Bool("plan", false, "print the model-driven plan and exit")
 		fittrace  = flag.Bool("fittrace", false, "print the fit after every iteration")
@@ -71,6 +72,10 @@ func main() {
 		}
 	}
 	budgetBytes, err := parseBytes(*budget)
+	if err != nil {
+		fatal(err)
+	}
+	accumStrat, err := adatm.ParseAccumStrategy(*accumFlag)
 	if err != nil {
 		fatal(err)
 	}
@@ -158,7 +163,7 @@ func main() {
 	opt := adatm.Options{
 		Rank: *rank, MaxIters: *iters, Tol: *tol, Seed: *seed, Workers: *workers,
 		Engine: adatm.EngineKind(*engName), MemoryBudget: budgetBytes, TrackFit: *fittrace,
-		Ridge: *ridge, NonNegative: *nonneg,
+		Ridge: *ridge, NonNegative: *nonneg, Accum: accumStrat,
 		CollectStats: *jsonOut,
 	}
 	obsst.options(&opt)

@@ -1,0 +1,158 @@
+package accum
+
+// Analytical model of the accumulation backends. The terms follow the same
+// roofline style as internal/model's time model: compute scaled by
+// NsPerOp, streamed bytes by NsPerByte, plus a lock-traffic term for the
+// striped scatter. The absolute numbers only matter up to the ratio between
+// the two backends, so uncalibrated DefaultCosts rank correctly on any
+// recent hardware; callers that already calibrated the roofline model can
+// substitute its coefficients (model.Coeffs.AccumCosts).
+
+// Costs are the machine coefficients of the accumulation model.
+type Costs struct {
+	// NsPerOp is nanoseconds per scalar multiply–add on a factor row.
+	NsPerOp float64
+	// NsPerByte is nanoseconds per byte of streaming memory traffic.
+	NsPerByte float64
+	// NsPerLock is nanoseconds per uncontended mutex lock/unlock pair.
+	NsPerLock float64
+}
+
+// DefaultCosts are conservative constants for contemporary x86/ARM server
+// cores. Only the ratios matter for the scatter-vs-privatize decision.
+var DefaultCosts = Costs{NsPerOp: 0.5, NsPerByte: 0.06, NsPerLock: 20}
+
+// normalize fills zero coefficients from DefaultCosts so a partially
+// calibrated Costs never divides the model by zero.
+func (c Costs) normalize() Costs {
+	if c.NsPerOp <= 0 {
+		c.NsPerOp = DefaultCosts.NsPerOp
+	}
+	if c.NsPerByte <= 0 {
+		c.NsPerByte = DefaultCosts.NsPerByte
+	}
+	if c.NsPerLock <= 0 {
+		c.NsPerLock = DefaultCosts.NsPerLock
+	}
+	return c
+}
+
+// Input describes one (engine, mode) accumulation problem.
+type Input struct {
+	// Rows is the output height of the target mode (dims[mode]).
+	Rows int
+	// NNZ is the number of row accumulations streamed into the output: the
+	// tensor's nonzeros for element-streaming engines, the leaf reduction
+	// entries for the memoized engine.
+	NNZ int64
+	// Rank is R, the accumulated row length.
+	Rank int
+	// Workers is the parallel width of the kernel.
+	Workers int
+	// LockFree marks engines whose baseline scatter needs no locks because
+	// distinct schedulable units own distinct output rows (the memoized
+	// leaf contraction): its scatter cost is parallelism starvation on
+	// short modes rather than lock traffic.
+	LockFree bool
+	// Budget is the byte budget available for the privatized footprint
+	// (typically the memory budget minus the engine's predicted auxiliary
+	// bytes); <= 0 means unbounded.
+	Budget int64
+}
+
+// Choice is the model's verdict for one Input: the picked strategy plus the
+// evidence, so the audit layer can replay the decision.
+type Choice struct {
+	Strategy Strategy `json:"strategy"`
+	// ScatterNS and PrivatizeNS are the predicted wall nanoseconds the
+	// accumulation layer adds to one MTTKRP call under each backend.
+	ScatterNS   float64 `json:"scatter_ns"`
+	PrivatizeNS float64 `json:"privatize_ns"`
+	// FootprintBytes is the privatized pool size workers·rows·R·8.
+	FootprintBytes int64 `json:"footprint_bytes"`
+	// Feasible reports the footprint fit the budget; when false the scatter
+	// is forced regardless of the time forecast.
+	Feasible bool `json:"feasible"`
+}
+
+// maxStripes mirrors par.StripesFor's cap (kept as a plain constant so the
+// model does not depend on par).
+const maxStripes = 8192
+
+// stripesFor predicts the stripe count par.StripesFor gives rows output
+// rows: next power of two, capped, minimum 1.
+func stripesFor(rows int) int {
+	n := 1
+	for n < rows && n < maxStripes {
+		n <<= 1
+	}
+	return n
+}
+
+// Choose evaluates the accumulation model for one (engine, mode) problem.
+//
+// Scatter: every accumulation pays the R-row add plus (unless LockFree) a
+// lock pair inflated by the expected contention 1 + (P−1)/S on S stripes;
+// the parallel width is clamped to the stripe count (short modes collapse
+// the stripes and serialize the scatter). LockFree engines instead clamp
+// the width to the distinct output rows — their scatter parallelism cannot
+// exceed the number of reduction groups.
+//
+// Privatize: the same adds run lock-free at full width, plus each worker
+// zeroes its private copy (rows·R·8 bytes, concurrent across workers) and
+// the W partials are parallel-reduced into the output (W·rows·R flops and
+// 8·(W+1)·rows·R bytes of traffic across P workers).
+func Choose(in Input, c Costs) Choice {
+	c = c.normalize()
+	rows, r := float64(in.Rows), float64(in.Rank)
+	if in.Rows < 1 || in.Rank < 1 || in.NNZ < 1 {
+		return Choice{Strategy: Scatter, Feasible: true}
+	}
+	p := float64(in.Workers)
+	if p < 1 {
+		p = 1
+	}
+	nnz := float64(in.NNZ)
+	addNS := r * c.NsPerOp // the in-loop R-row accumulate
+
+	var scatterNS float64
+	if in.LockFree {
+		width := p
+		if rows < width {
+			width = rows
+		}
+		scatterNS = nnz * addNS / width
+	} else {
+		s := float64(stripesFor(in.Rows))
+		width := p
+		if s < width {
+			width = s
+		}
+		contention := 1 + (p-1)/s
+		scatterNS = nnz * (addNS + c.NsPerLock*contention) / width
+	}
+
+	w := p // one private copy per worker
+	copyBytes := rows * r * 8
+	privatizeNS := nnz*addNS/p + // lock-free scatter at full width
+		copyBytes*c.NsPerByte + // per-worker zeroing, concurrent
+		(w*rows*r*c.NsPerOp+(w+1)*copyBytes*c.NsPerByte)/p // tiled reduction
+
+	foot := int64(in.Workers)
+	if foot < 1 {
+		foot = 1
+	}
+	foot *= int64(in.Rows) * int64(in.Rank) * 8
+	ch := Choice{
+		ScatterNS:      scatterNS,
+		PrivatizeNS:    privatizeNS,
+		FootprintBytes: foot,
+		Feasible:       in.Budget <= 0 || foot <= in.Budget,
+	}
+	if ch.Feasible && privatizeNS < scatterNS {
+		ch.Strategy = Privatize
+	} else {
+		ch.Strategy = Scatter
+	}
+	return ch
+}

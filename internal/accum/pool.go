@@ -1,0 +1,166 @@
+package accum
+
+import (
+	"sync/atomic"
+	"time"
+
+	"adatm/internal/dense"
+	"adatm/internal/kernel"
+	"adatm/internal/par"
+)
+
+// reduceTileFloats sizes the row tiles of the parallel reduction: each
+// worker streams every live partial through one output tile before moving
+// on, so the tile (≈32 KiB) stays cache-resident across the W passes.
+const reduceTileFloats = 4096
+
+// Pool is the privatized-accumulation buffer set: one rows×R output copy
+// per worker, backed by a single allocation that is sized once and reused
+// across every MTTKRP call of an engine (zero-alloc steady state, like
+// kernel.Arena). A call cycle is:
+//
+//	pool.Begin(out.Rows, r)            // single-threaded kernel entry
+//	m := pool.Acquire(worker)          // inside the parallel region
+//	... kernel.AddInto(m.Row(i), row)  // lock-free scatter into the copy
+//	pool.Reduce(out, workers)          // single-threaded kernel exit
+//
+// Acquire zeroes a worker's copy lazily on its first acquisition of the
+// call (stamped by an epoch), so idle workers cost nothing and Reduce folds
+// only the copies that were actually written.
+type Pool struct {
+	workers int
+	rows, r int
+	epoch   uint64
+	data    []float64
+	mats    []dense.Matrix
+	// live[w] == epoch marks worker w's copy as written this call. Distinct
+	// workers write distinct entries inside the parallel region; Reduce
+	// reads them after the region's barrier.
+	live    []uint64
+	liveIDs []int
+	// redBody is the bound reduction body (allocated once at construction so
+	// Reduce passes a stored func value, not a fresh closure); redOut and
+	// redTile are its call-scoped inputs, set by Reduce before the parallel
+	// region and cleared after.
+	redBody func(lo, hi int)
+	redOut  *dense.Matrix
+	redTile int
+	// bytes mirrors cap(data)*8 and grows counts backing reallocations,
+	// atomically: a /metrics scrape reads them mid-run. reduceNS accumulates
+	// wall time inside Reduce — the overhead the privatized path pays for
+	// dropping the locks.
+	bytes    atomic.Int64
+	grows    atomic.Int64
+	reduceNS atomic.Int64
+}
+
+// NewPool creates a pool for the given worker count (minimum 1). The
+// backing store is allocated lazily by the first Begin.
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		mats:    make([]dense.Matrix, workers),
+		live:    make([]uint64, workers),
+		liveIDs: make([]int, 0, workers),
+	}
+	p.redBody = p.reduceRange
+	return p
+}
+
+// Workers returns the worker count the pool was sized for.
+func (p *Pool) Workers() int { return p.workers }
+
+// Begin opens an accumulation call over a rows×r output. Must be called
+// from the single-threaded kernel entry. Growing past the backing store's
+// capacity reallocates; shrinking or repeating a shape only re-slices.
+func (p *Pool) Begin(rows, r int) {
+	if rows != p.rows || r != p.r {
+		need := p.workers * rows * r
+		if need <= cap(p.data) {
+			p.data = p.data[:need]
+		} else {
+			p.data = make([]float64, need)
+			p.bytes.Store(int64(cap(p.data)) * 8)
+			p.grows.Add(1)
+		}
+		stride := rows * r
+		for w := 0; w < p.workers; w++ {
+			p.mats[w] = dense.Matrix{Rows: rows, Cols: r, Data: p.data[w*stride : (w+1)*stride : (w+1)*stride]}
+		}
+		p.rows, p.r = rows, r
+	}
+	p.epoch++
+}
+
+// Acquire returns worker w's private output copy, zeroing it on the first
+// acquisition of the current call. Safe to call concurrently for distinct
+// workers, and repeatedly (e.g. once per dynamic chunk) for the same worker.
+func (p *Pool) Acquire(w int) *dense.Matrix {
+	m := &p.mats[w]
+	if p.live[w] != p.epoch {
+		clear(m.Data)
+		p.live[w] = p.epoch
+	}
+	return m
+}
+
+// Reduce folds the copies written since Begin into out (fully overwriting
+// it): out.Row(i) = Σ_w partial_w.Row(i), computed as a parallel reduction
+// over cache-sized row tiles — each worker owns a contiguous row block, and
+// within it streams every live partial through one ~32 KiB tile at a time.
+// out must be the rows×r shape Begin was opened with.
+func (p *Pool) Reduce(out *dense.Matrix, workers int) {
+	start := time.Now()
+	ids := p.liveIDs[:0]
+	for w := 0; w < p.workers; w++ {
+		if p.live[w] == p.epoch {
+			ids = append(ids, w)
+		}
+	}
+	p.liveIDs = ids
+	if len(ids) == 0 {
+		out.Zero()
+		p.reduceNS.Add(time.Since(start).Nanoseconds())
+		return
+	}
+	tileRows := reduceTileFloats / p.r
+	if tileRows < 1 {
+		tileRows = 1
+	}
+	p.redOut, p.redTile = out, tileRows
+	par.ForRange(p.rows, workers, p.redBody)
+	p.redOut = nil
+	p.reduceNS.Add(time.Since(start).Nanoseconds())
+}
+
+// reduceRange folds rows [lo, hi) of every live partial into the output, one
+// cache tile at a time: the first partial is copied, the rest added.
+func (p *Pool) reduceRange(lo, hi int) {
+	out, ids, r, tileRows := p.redOut, p.liveIDs, p.r, p.redTile
+	for t0 := lo; t0 < hi; t0 += tileRows {
+		t1 := t0 + tileRows
+		if t1 > hi {
+			t1 = hi
+		}
+		o := out.Data[t0*r : t1*r]
+		copy(o, p.mats[ids[0]].Data[t0*r:t1*r])
+		for _, w := range ids[1:] {
+			kernel.AddInto(o, p.mats[w].Data[t0*r:t1*r])
+		}
+	}
+}
+
+// Bytes reports the backing storage size of the pool. Safe to call from a
+// metrics scrape concurrent with Begin.
+func (p *Pool) Bytes() int64 { return p.bytes.Load() }
+
+// Grows reports how many times Begin reallocated the backing store — the
+// steady state grows once per (rows, r) high-water mark.
+func (p *Pool) Grows() int64 { return p.grows.Load() }
+
+// ReduceNS reports cumulative wall time spent inside Reduce, in
+// nanoseconds. Safe to call concurrently.
+func (p *Pool) ReduceNS() int64 { return p.reduceNS.Load() }

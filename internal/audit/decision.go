@@ -52,6 +52,19 @@ type RangeCount struct {
 	Count int64 `json:"count"`
 }
 
+// AccumRecord is one per-mode output-accumulation decision: the chosen
+// backend plus the model's evidence (both forecasts, the privatized
+// footprint, and whether it fit the budget slack).
+type AccumRecord struct {
+	Mode            int     `json:"mode"`
+	Rows            int     `json:"rows"`
+	Strategy        string  `json:"strategy"`
+	PredScatterNS   float64 `json:"pred_scatter_ns"`
+	PredPrivatizeNS float64 `json:"pred_privatize_ns"`
+	FootprintBytes  int64   `json:"footprint_bytes"`
+	Feasible        bool    `json:"feasible"`
+}
+
 // Decision is one model-driven selection, captured at Select time: the
 // tensor shape, the budget, every scored candidate with its predictions,
 // the sketch-estimated distinct-tuple table the predictions came from, and
@@ -75,6 +88,10 @@ type Decision struct {
 	// unless Exact), recorded so estimate drift is diagnosable after the
 	// fact.
 	Ranges []RangeCount `json:"distinct_ranges,omitempty"`
+	// Workers is the parallel width the accumulation table assumed.
+	Workers int `json:"workers,omitempty"`
+	// Accum is the per-mode output-accumulation decision table.
+	Accum []AccumRecord `json:"accum,omitempty"`
 }
 
 // NewDecision flattens a scored model.Plan into a Decision. The timestamp
@@ -106,6 +123,19 @@ func NewDecision(p *model.Plan) *Decision {
 	d.Ranges = make([]RangeCount, len(p.Ranges))
 	for i, r := range p.Ranges {
 		d.Ranges[i] = RangeCount{Lo: r.Lo, Hi: r.Hi, Count: r.Count}
+	}
+	d.Workers = p.Workers
+	d.Accum = make([]AccumRecord, len(p.Accum))
+	for i, a := range p.Accum {
+		d.Accum[i] = AccumRecord{
+			Mode:            a.Mode,
+			Rows:            a.Rows,
+			Strategy:        a.Strategy.String(),
+			PredScatterNS:   a.ScatterNS,
+			PredPrivatizeNS: a.PrivatizeNS,
+			FootprintBytes:  a.FootprintBytes,
+			Feasible:        a.Feasible,
+		}
 	}
 	return d
 }

@@ -40,6 +40,24 @@ type Measured struct {
 	// PhaseSeconds is the per-phase wall-time breakdown keyed by the
 	// canonical cpd phase names; nil unless the run collected stats.
 	PhaseSeconds map[string]float64 `json:"phase_seconds,omitempty"`
+	// ModeMTTKRPSeconds is the measured wall time of each mode's MTTKRP
+	// call per iteration, indexed by mode; nil unless the run collected
+	// per-mode stats.
+	ModeMTTKRPSeconds []float64 `json:"mode_mttkrp_seconds,omitempty"`
+}
+
+// AccumOutcome is the per-mode reconciliation of an accumulation decision:
+// the backend the model picked with its forecast for the accumulation
+// component, alongside the measured wall time of the whole mode-MTTKRP
+// call. The two scopes differ (the forecast covers only the accumulation
+// layer), so the pair is informational — recorded for offline crossover
+// analysis, never warned on.
+type AccumOutcome struct {
+	Mode             int     `json:"mode"`
+	Strategy         string  `json:"strategy"`
+	PredScatterNS    float64 `json:"pred_scatter_ns"`
+	PredPrivatizeNS  float64 `json:"pred_privatize_ns"`
+	MeasuredModeSecs float64 `json:"measured_mode_seconds,omitempty"`
 }
 
 // Quantity is one predicted/measured pair with its signed relative error.
@@ -74,6 +92,9 @@ type Report struct {
 	// WarnThreshold, plus degenerate measurements.
 	Warnings      []string `json:"warnings,omitempty"`
 	WarnThreshold float64  `json:"warn_threshold"`
+	// Accum is the per-mode accumulation-decision outcome table (see
+	// AccumOutcome); nil when the decision predates accumulation planning.
+	Accum []AccumOutcome `json:"accum,omitempty"`
 }
 
 // relErr computes the signed relative error (pred − meas)/meas, kept finite
@@ -130,6 +151,19 @@ func ReconcileCandidate(d *Decision, name string, m Measured, warnThreshold floa
 	}
 	if cand.PredTimeNS > 0 && m.MTTKRPSecondsPerIter > 0 {
 		add(QMTTKRPSeconds, float64(cand.PredTimeNS)/1e9, m.MTTKRPSecondsPerIter)
+	}
+
+	for _, a := range d.Accum {
+		o := AccumOutcome{
+			Mode:            a.Mode,
+			Strategy:        a.Strategy,
+			PredScatterNS:   a.PredScatterNS,
+			PredPrivatizeNS: a.PredPrivatizeNS,
+		}
+		if a.Mode < len(m.ModeMTTKRPSeconds) {
+			o.MeasuredModeSecs = m.ModeMTTKRPSeconds[a.Mode]
+		}
+		rep.Accum = append(rep.Accum, o)
 	}
 
 	rep.MeasuredChoice = measuredChoice(d, cand, m)
@@ -226,6 +260,14 @@ func (r *Report) String() string {
 		verdict = "DISAGREES"
 	}
 	fmt.Fprintf(&b, "top-1: model %s with measurement (measured choice: %s)\n", verdict, r.MeasuredChoice)
+	for _, a := range r.Accum {
+		fmt.Fprintf(&b, "accum mode %d: %s (pred scatter %.3gms privatize %.3gms", a.Mode, a.Strategy,
+			a.PredScatterNS/1e6, a.PredPrivatizeNS/1e6)
+		if a.MeasuredModeSecs > 0 {
+			fmt.Fprintf(&b, "; measured mode-MTTKRP %.3gms", a.MeasuredModeSecs*1e3)
+		}
+		fmt.Fprintf(&b, ")\n")
+	}
 	for _, w := range r.Warnings {
 		fmt.Fprintf(&b, "warning: %s\n", w)
 	}

@@ -9,6 +9,7 @@ package coo
 import (
 	"time"
 
+	"adatm/internal/accum"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
 	"adatm/internal/kernel"
@@ -23,16 +24,41 @@ type Engine struct {
 	workers int
 	stripes *par.Stripes
 	arena   *kernel.Arena
+	res     *accum.Resolver
+	pool    *accum.Pool
 	ctr     engine.Counters
+	// body is the bound worker body (allocated once so MTTKRP passes a stored
+	// func value, not a per-call closure — the zero-alloc steady state); the
+	// cur* fields are its call-scoped inputs, set before the parallel region
+	// and cleared after.
+	body       func(worker, lo, hi int)
+	curMode    int
+	curFactors []*dense.Matrix
+	curOut     *dense.Matrix
+	curPool    *accum.Pool
 }
 
-// New builds a COO engine over x. workers <= 0 selects GOMAXPROCS.
+// New builds a COO engine over x. workers <= 0 selects GOMAXPROCS. The
+// accumulation backend is model-resolved per mode (accum.Auto).
 func New(x *tensor.COO, workers int) *Engine {
+	return NewWithAccum(x, workers, accum.Config{})
+}
+
+// NewWithAccum is New with an explicit accumulation policy.
+func NewWithAccum(x *tensor.COO, workers int, cfg accum.Config) *Engine {
 	w := workers
 	if w <= 0 {
 		w = par.MaxWorkers()
 	}
-	return &Engine{x: x, workers: workers, arena: kernel.NewArena(w, 1)}
+	e := &Engine{
+		x:       x,
+		workers: workers,
+		arena:   kernel.NewArena(w, 1),
+		res:     accum.NewResolver(x.Order(), cfg),
+		pool:    accum.NewPool(w),
+	}
+	e.body = e.runChunk
+	return e
 }
 
 // Name implements engine.Engine.
@@ -70,66 +96,88 @@ func (e *Engine) Instrument(_ *obs.Tracer, reg *obs.Registry) {
 	reg.GaugeFunc("adatm_par_chunk_imbalance_ratio",
 		"Worst heaviest-chunk/ideal-share ratio of the weighted schedules.", l,
 		func() float64 { return 1 })
-}
-
-// ensureStripes sizes the scatter lock pool from the actual output height
-// (next power of two, capped at 8192). Output heights differ per mode, so
-// the pool grows lazily to the largest mode seen; regrowth only ever
-// happens on the single-threaded entry path.
-func (e *Engine) ensureStripes(rows int) {
-	if e.stripes == nil || (e.stripes.Len() < rows && e.stripes.Len() < 8192) {
-		e.stripes = par.StripesFor(rows)
-	}
+	engine.RegisterAccumMetrics(reg, e.Name(), e.x.Order(), e.res, e.pool)
 }
 
 // MTTKRP implements engine.Engine. Parallelizes over nonzero blocks; output
-// rows are protected by striped locks since distinct nonzeros may target the
-// same row.
+// rows are accumulated through the mode's resolved backend — striped-lock
+// scatter into the shared output, or per-worker private copies folded by a
+// parallel reduction (see internal/accum).
 func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
 	if err := engine.CheckInputs(e.x.Dims, mode, factors, out); err != nil {
 		return err
 	}
 	start := time.Now()
 	x := e.x
-	n := x.Order()
 	r := out.Cols
-	e.ensureStripes(out.Rows)
 	e.arena.EnsureRank(r)
-	out.Zero()
+	workers := e.workers
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	var pool *accum.Pool
+	if e.res.Resolve(mode, out.Rows, int64(x.NNZ()), r, workers) == accum.Privatize {
+		pool = e.pool
+		pool.Begin(out.Rows, r)
+	} else {
+		e.stripes = par.EnsureStripes(e.stripes, out.Rows)
+		out.Zero()
+	}
+	e.curMode, e.curFactors, e.curOut, e.curPool = mode, factors, out, pool
+	par.ForWorker(x.NNZ(), e.workers, e.body)
+	e.curFactors, e.curOut, e.curPool = nil, nil, nil
+	if pool != nil {
+		pool.Reduce(out, workers)
+	}
+	e.ctr.Observe(start)
+	return nil
+}
+
+// runChunk streams nonzeros [lo, hi) through the Hadamard kernel and
+// accumulates them into the output — privatized copy when curPool is set,
+// striped-lock scatter otherwise.
+func (e *Engine) runChunk(worker, lo, hi int) {
+	x := e.x
+	mode, factors, out := e.curMode, e.curFactors, e.curOut
+	n := x.Order()
 	target := x.Inds[mode]
 	stripes := e.stripes
-	par.ForWorker(x.NNZ(), e.workers, func(worker, lo, hi int) {
-		row := e.arena.Buf(worker, 0)
-		for k := lo; k < hi; k++ {
-			// Fold the first non-target factor row in with the value
-			// broadcast, then Hadamard-multiply the remaining rows.
-			first := true
-			for m := 0; m < n; m++ {
-				if m == mode {
-					continue
-				}
-				f := factors[m].Row(int(x.Inds[m][k]))
-				if first {
-					kernel.Scale(row, f, x.Vals[k])
-					first = false
-				} else {
-					kernel.MulInto(row, f)
-				}
+	row := e.arena.Buf(worker, 0)
+	var priv *dense.Matrix
+	if e.curPool != nil {
+		priv = e.curPool.Acquire(worker)
+	}
+	for k := lo; k < hi; k++ {
+		// Fold the first non-target factor row in with the value broadcast,
+		// then Hadamard-multiply the remaining rows.
+		first := true
+		for m := 0; m < n; m++ {
+			if m == mode {
+				continue
 			}
-			if first { // degenerate order-1 tensor: bare value broadcast
-				for j := range row {
-					row[j] = x.Vals[k]
-				}
+			f := factors[m].Row(int(x.Inds[m][k]))
+			if first {
+				kernel.Scale(row, f, x.Vals[k])
+				first = false
+			} else {
+				kernel.MulInto(row, f)
 			}
-			i := target[k]
+		}
+		if first { // degenerate order-1 tensor: bare value broadcast
+			for j := range row {
+				row[j] = x.Vals[k]
+			}
+		}
+		i := target[k]
+		if priv != nil {
+			kernel.AddInto(priv.Row(int(i)), row)
+		} else {
 			stripes.Lock(i)
 			kernel.AddInto(out.Row(int(i)), row)
 			stripes.Unlock(i)
 		}
-		e.ctr.AddOps(int64(hi-lo) * int64(n) * int64(r))
-	})
-	e.ctr.Observe(start)
-	return nil
+	}
+	e.ctr.AddOps(int64(hi-lo) * int64(n) * int64(len(row)))
 }
 
 var _ engine.Engine = (*Engine)(nil)

@@ -323,6 +323,10 @@ func measuredFrom(s, base engine.Stats, res *Result) audit.Measured {
 		for p := Phase(0); p < NumPhases; p++ {
 			m.PhaseSeconds[p.String()] = res.Stats.Phases[p].Time.Seconds()
 		}
+		m.ModeMTTKRPSeconds = make([]float64, len(res.Stats.ModeMTTKRP))
+		for mode, mp := range res.Stats.ModeMTTKRP {
+			m.ModeMTTKRPSeconds[mode] = mp.Time.Seconds() / iters
+		}
 	}
 	return m
 }

@@ -7,9 +7,12 @@ package engine_test
 import (
 	"testing"
 
+	"adatm/internal/accum"
+	"adatm/internal/coo"
 	"adatm/internal/csf"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/hicoo"
 	"adatm/internal/memo"
 	"adatm/internal/tensor"
 )
@@ -51,6 +54,41 @@ func TestSteadyStateZeroAlloc(t *testing.T) {
 		})
 		if allocs != 0 {
 			t.Errorf("%s: %v allocs per steady-state sweep, want 0", name, allocs)
+		}
+	}
+}
+
+// TestSteadyStateZeroAllocPrivatized pins the privatized accumulation path
+// at zero allocations per sweep once warm: the pool's backing arena is sized
+// on the first call and every later Begin/Acquire/Reduce only re-slices it.
+func TestSteadyStateZeroAllocPrivatized(t *testing.T) {
+	const r = 16
+	x := tensor.RandomClustered(4, 12, 800, 0.7, 173)
+	fs := factors(x, r, 179)
+	outs := make([]*dense.Matrix, x.Order())
+	for m := range outs {
+		outs[m] = dense.New(x.Dims[m], r)
+	}
+
+	acfg := accum.Config{Strategy: accum.Privatize, Workers: 1}
+	memoEng, err := memo.NewWithConfig(x, memo.Balanced(x.Order()),
+		memo.Config{Workers: 1, RetainBuffers: true, Accum: acfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := map[string]engine.Engine{
+		"coo-priv":   coo.NewWithAccum(x, 1, acfg),
+		"hicoo-priv": hicoo.NewWithAccum(x, 1, acfg),
+		"memo-priv":  memoEng,
+	}
+	for name, e := range engines {
+		sweepWithInvalidation(e, x, fs, outs) // sizes the privatized pool
+		sweepWithInvalidation(e, x, fs, outs)
+		allocs := testing.AllocsPerRun(5, func() {
+			sweepWithInvalidation(e, x, fs, outs)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: %v allocs per steady-state privatized sweep, want 0", name, allocs)
 		}
 	}
 }

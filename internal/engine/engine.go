@@ -10,9 +10,11 @@ package engine
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 	"time"
 
+	"adatm/internal/accum"
 	"adatm/internal/dense"
 	"adatm/internal/obs"
 )
@@ -91,6 +93,31 @@ func RegisterCommonMetrics(reg *obs.Registry, name string, c *Counters) {
 	reg.CounterFunc("adatm_engine_mttkrp_seconds_total",
 		"Wall-clock seconds spent inside the MTTKRP kernel.", l,
 		func() float64 { return float64(c.ns.Load()) / 1e9 })
+}
+
+// RegisterAccumMetrics registers the accumulation-layer metrics every
+// scatter engine shares: the per-mode resolved strategy (encoded as the
+// accum.Strategy value — 0 auto/unresolved, 1 scatter, 2 privatize),
+// cumulative seconds inside the privatized parallel reduction, and the
+// privatized pool footprint. Safe to call with a nil registry.
+func RegisterAccumMetrics(reg *obs.Registry, name string, nmodes int, res *accum.Resolver, pool *accum.Pool) {
+	if reg == nil {
+		return
+	}
+	for m := 0; m < nmodes; m++ {
+		mode := m
+		reg.GaugeFunc("adatm_accum_strategy",
+			"Resolved output-accumulation backend per target mode (0 auto/unresolved, 1 scatter, 2 privatize).",
+			obs.Labels{"engine": name, "mode": strconv.Itoa(mode)},
+			func() float64 { return float64(res.Resolved(mode)) })
+	}
+	l := obs.Labels{"engine": name}
+	reg.CounterFunc("adatm_accum_reduce_seconds",
+		"Wall-clock seconds spent folding privatized partials into the MTTKRP output.", l,
+		func() float64 { return float64(pool.ReduceNS()) / 1e9 })
+	reg.GaugeFunc("adatm_accum_pool_bytes",
+		"Backing bytes of the per-worker privatized output copies.", l,
+		func() float64 { return float64(pool.Bytes()) })
 }
 
 // CheckInputs validates the MTTKRP contract shared by every engine against

@@ -13,9 +13,9 @@ package hicoo
 
 import (
 	"sort"
-	"sync/atomic"
 	"time"
 
+	"adatm/internal/accum"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
 	"adatm/internal/kernel"
@@ -121,11 +121,28 @@ type Engine struct {
 	// base holds per-worker decoded block-origin scratch.
 	chunks []int
 	base   [][]int
+	res    *accum.Resolver
+	pool   *accum.Pool
 	ctr    engine.Counters
+	// body is the bound worker body (allocated once so MTTKRP passes a stored
+	// func value, not a per-call closure — the zero-alloc steady state); the
+	// cur* fields are its call-scoped inputs, set before the parallel region
+	// and cleared after.
+	body       func(worker, lo, hi int)
+	curMode    int
+	curFactors []*dense.Matrix
+	curOut     *dense.Matrix
+	curPool    *accum.Pool
 }
 
-// New builds the blocked engine over x.
+// New builds the blocked engine over x. The accumulation backend is
+// model-resolved per mode (accum.Auto).
 func New(x *tensor.COO, workers int) *Engine {
+	return NewWithAccum(x, workers, accum.Config{})
+}
+
+// NewWithAccum is New with an explicit accumulation policy.
+func NewWithAccum(x *tensor.COO, workers int, cfg accum.Config) *Engine {
 	t := Build(x)
 	w := workers
 	if w <= 0 {
@@ -142,10 +159,13 @@ func New(x *tensor.COO, workers int) *Engine {
 		arena:   kernel.NewArena(w, 1),
 		chunks:  par.WeightedBounds(prefix, w*8),
 		base:    make([][]int, w),
+		res:     accum.NewResolver(len(t.Dims), cfg),
+		pool:    accum.NewPool(w),
 	}
 	for i := range e.base {
 		e.base[i] = make([]int, len(t.Dims))
 	}
+	e.body = e.runChunk
 	return e
 }
 
@@ -191,63 +211,91 @@ func (e *Engine) Instrument(_ *obs.Tracer, reg *obs.Registry) {
 	reg.GaugeFunc("adatm_par_chunk_imbalance_ratio",
 		"Worst heaviest-chunk/ideal-share ratio of the weighted schedules.", l,
 		func() float64 { return imb })
+	engine.RegisterAccumMetrics(reg, e.Name(), len(e.t.Dims), e.res, e.pool)
 }
 
 // MTTKRP implements engine.Engine. Within a block, every element's factor
 // row lives inside one 128-row window per mode, which is where the format's
 // cache locality comes from. Blocks run in dynamic parallel batches; the
-// target-mode rows are guarded by striped locks because distinct blocks can
-// share mode-n block coordinates.
+// target-mode rows go through the mode's resolved accumulation backend —
+// striped locks (distinct blocks can share mode-n block coordinates) or
+// per-worker privatized copies folded by a parallel reduction.
 func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) error {
 	if err := engine.CheckInputs(e.t.Dims, mode, factors, out); err != nil {
 		return err
 	}
 	start := time.Now()
 	t := e.t
-	n := len(t.Dims)
 	r := out.Cols
-	if e.stripes == nil || (e.stripes.Len() < out.Rows && e.stripes.Len() < 8192) {
-		e.stripes = par.StripesFor(out.Rows)
-	}
 	e.arena.EnsureRank(r)
-	out.Zero()
-	var ops atomic.Int64
+	workers := e.workers
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	var pool *accum.Pool
+	if e.res.Resolve(mode, out.Rows, int64(len(t.Vals)), r, workers) == accum.Privatize {
+		pool = e.pool
+		pool.Begin(out.Rows, r)
+	} else {
+		e.stripes = par.EnsureStripes(e.stripes, out.Rows)
+		out.Zero()
+	}
+	e.curMode, e.curFactors, e.curOut, e.curPool = mode, factors, out, pool
+	par.ForChunks(e.chunks, e.workers, e.body)
+	e.curFactors, e.curOut, e.curPool = nil, nil, nil
+	if pool != nil {
+		pool.Reduce(out, workers)
+	}
+	e.ctr.Observe(start)
+	return nil
+}
+
+// runChunk processes blocks [lo, hi): decodes each block origin once, streams
+// its elements through the Hadamard kernel, and accumulates into the output —
+// privatized copy when curPool is set, striped-lock scatter otherwise.
+func (e *Engine) runChunk(worker, lo, hi int) {
+	t := e.t
+	mode, factors, out := e.curMode, e.curFactors, e.curOut
+	n := len(t.Dims)
 	stripes := e.stripes
-	par.ForChunks(e.chunks, e.workers, func(worker, lo, hi int) {
-		row := e.arena.Buf(worker, 0)
-		base := e.base[worker]
-		var local int64
-		for b := lo; b < hi; b++ {
+	row := e.arena.Buf(worker, 0)
+	base := e.base[worker]
+	var priv *dense.Matrix
+	if e.curPool != nil {
+		priv = e.curPool.Acquire(worker)
+	}
+	var local int64
+	for b := lo; b < hi; b++ {
+		for m := 0; m < n; m++ {
+			base[m] = int(t.BInds[m][b]) << blockBits
+		}
+		k0, k1 := t.BPtr[b], t.BPtr[b+1]
+		for k := k0; k < k1; k++ {
+			first := true
 			for m := 0; m < n; m++ {
-				base[m] = int(t.BInds[m][b]) << blockBits
-			}
-			k0, k1 := t.BPtr[b], t.BPtr[b+1]
-			for k := k0; k < k1; k++ {
-				first := true
-				for m := 0; m < n; m++ {
-					if m == mode {
-						continue
-					}
-					f := factors[m].Row(base[m] + int(t.EInds[m][k]))
-					if first {
-						kernel.Scale(row, f, t.Vals[k])
-						first = false
-					} else {
-						kernel.MulInto(row, f)
-					}
+				if m == mode {
+					continue
 				}
-				i := int32(base[mode] + int(t.EInds[mode][k]))
+				f := factors[m].Row(base[m] + int(t.EInds[m][k]))
+				if first {
+					kernel.Scale(row, f, t.Vals[k])
+					first = false
+				} else {
+					kernel.MulInto(row, f)
+				}
+			}
+			i := int32(base[mode] + int(t.EInds[mode][k]))
+			if priv != nil {
+				kernel.AddInto(priv.Row(int(i)), row)
+			} else {
 				stripes.Lock(i)
 				kernel.AddInto(out.Row(int(i)), row)
 				stripes.Unlock(i)
 			}
-			local += int64(k1-k0) * int64(n) * int64(r)
 		}
-		ops.Add(local)
-	})
-	e.ctr.AddOps(ops.Load())
-	e.ctr.Observe(start)
-	return nil
+		local += int64(k1-k0) * int64(n) * int64(len(row))
+	}
+	e.ctr.AddOps(local)
 }
 
 var _ engine.Engine = (*Engine)(nil)

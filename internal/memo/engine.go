@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adatm/internal/accum"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
 	"adatm/internal/kernel"
@@ -47,6 +48,17 @@ type Engine struct {
 	curFromRoot bool
 	body        func(worker, lo, hi int)
 
+	// Privatized leaf accumulation: the scatter path above is already
+	// lock-free (distinct leaf elements own distinct output rows), but its
+	// parallel width is capped by the leaf element count — a short target
+	// mode starves it. The privatized path parallelizes over the flattened
+	// reduction entries instead, each worker accumulating into a private
+	// output copy folded afterwards by pool.Reduce. privBody is the bound
+	// method value mirroring body, for the same zero-alloc reason.
+	res      *accum.Resolver
+	pool     *accum.Pool
+	privBody func(worker, lo, hi int)
+
 	ctr        engine.Counters
 	idxBytes   int64
 	curValB    atomic.Int64
@@ -83,6 +95,9 @@ type Config struct {
 	// simultaneously after the first iteration) for zero per-iteration
 	// allocation.
 	RetainBuffers bool
+	// Accum is the output-accumulation policy for the leaf contraction
+	// (LockFree is forced on — the scatter baseline here takes no locks).
+	Accum accum.Config
 }
 
 // NewWithConfig is New with the full configuration surface.
@@ -114,6 +129,11 @@ func NewWithConfig(x *tensor.COO, strat *Strategy, cfg Config) (*Engine, error) 
 		e.rowsBuf[i] = make([][]float64, maxDelta)
 	}
 	e.body = e.runChunk
+	acfg := cfg.Accum
+	acfg.LockFree = true
+	e.res = accum.NewResolver(x.Order(), acfg)
+	e.pool = accum.NewPool(w)
+	e.privBody = e.runPrivChunk
 	return e, nil
 }
 
@@ -188,6 +208,7 @@ func (e *Engine) Instrument(tr *obs.Tracer, reg *obs.Registry) {
 	reg.GaugeFunc("adatm_par_chunk_imbalance_ratio",
 		"Worst heaviest-chunk/ideal-share ratio of the weighted schedules.", l,
 		func() float64 { return worst })
+	engine.RegisterAccumMetrics(reg, e.name, len(e.x.Dims), e.res, e.pool)
 }
 
 // ResetStats implements engine.Engine.
@@ -259,9 +280,20 @@ func (e *Engine) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) er
 	// The leaf contraction is fused with the output scatter: each leaf
 	// element's row is accumulated straight into the output row of its mode
 	// index instead of being materialized and then copied. Mode indices
-	// absent from the tensor keep zero rows.
-	out.Zero()
-	e.compute(leaf, factors, r, out, leaf.inds[0])
+	// absent from the tensor keep zero rows. The accumulation backend is
+	// resolved per mode: element-parallel in-place scatter (lock-free but
+	// starved when the mode has few distinct indices), or entry-parallel
+	// privatized accumulation with a folding reduction.
+	workers := e.workers
+	if workers <= 0 {
+		workers = par.MaxWorkers()
+	}
+	if e.res.Resolve(mode, out.Rows, int64(len(leaf.redElems)), r, workers) == accum.Privatize {
+		e.computePrivatized(leaf, factors, r, out, workers)
+	} else {
+		out.Zero()
+		e.compute(leaf, factors, r, out, leaf.inds[0])
+	}
 	e.ctr.Observe(start)
 	return nil
 }
@@ -342,6 +374,66 @@ func (e *Engine) runChunk(worker, lo, hi int) {
 			} else {
 				kernel.HadamardAccumVec(out, p.vals.Row(pe), rows[:k])
 			}
+		}
+	}
+}
+
+// computePrivatized is the privatized-accumulation variant of the fused
+// leaf contraction: workers split the flattened reduction entries (full
+// parallel width even when the leaf has fewer elements than workers) and
+// accumulate into per-worker output copies, folded into out by a parallel
+// tiled reduction. Mirrors compute's call-scoped-field pattern so the
+// steady state stays allocation-free.
+func (e *Engine) computePrivatized(t *node, factors []*dense.Matrix, r int, out *dense.Matrix, workers int) {
+	p := t.parent
+	for k, d := range t.delta {
+		t.facBuf[k] = factors[d]
+	}
+	e.pool.Begin(out.Rows, r)
+	e.curNode, e.curScatter, e.curFromRoot = t, t.inds[0], p.parent == nil
+	par.ForWorker(len(t.redElems), e.workers, e.privBody)
+	e.pool.Reduce(out, workers)
+	e.curNode, e.curScatter = nil, nil
+	e.ctr.AddOps(int64(p.nelem) * int64(len(t.delta)+1) * int64(r))
+}
+
+// runPrivChunk processes reduction entries [lo, hi) of the current
+// privatized leaf contraction on the given worker. The owning leaf element
+// of entry lo is found by binary search on the reduction pointer (hand
+// rolled: sort.Search's closure would allocate in this zero-alloc path) and
+// then advanced in step with the entries.
+func (e *Engine) runPrivChunk(worker, lo, hi int) {
+	t := e.curNode
+	p := t.parent
+	scatter, fromRoot := e.curScatter, e.curFromRoot
+	vals := e.x.Vals
+	rows := e.rowsBuf[worker]
+	k := len(t.delta)
+	priv := e.pool.Acquire(worker)
+	// Greatest i with redPtr[i] <= lo: invariant redPtr[a] <= lo < redPtr[b].
+	a, b := 0, len(t.redPtr)-1
+	for a+1 < b {
+		mid := int(uint(a+b) >> 1)
+		if t.redPtr[mid] <= int64(lo) {
+			a = mid
+		} else {
+			b = mid
+		}
+	}
+	i := a
+	for ei := lo; ei < hi; ei++ {
+		for int64(ei) >= t.redPtr[i+1] {
+			i++
+		}
+		out := priv.Row(int(scatter[i]))
+		pe := int(t.redElems[ei])
+		for kk := 0; kk < k; kk++ {
+			rows[kk] = t.facBuf[kk].Row(int(t.deltaIdx[kk][pe]))
+		}
+		if fromRoot {
+			kernel.HadamardAccum(out, vals[pe], rows[:k])
+		} else {
+			kernel.HadamardAccumVec(out, p.vals.Row(pe), rows[:k])
 		}
 	}
 }

@@ -7,7 +7,9 @@ import (
 	"strings"
 	"time"
 
+	"adatm/internal/accum"
 	"adatm/internal/memo"
+	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
 
@@ -44,6 +46,12 @@ type Plan struct {
 	Ranges     []RangeCount
 	Candidates []Candidate
 	Chosen     Candidate
+	// Workers is the parallel width the accumulation table was computed
+	// for (from Options.Workers, defaulting to GOMAXPROCS).
+	Workers int
+	// Accum is the per-target-mode output-accumulation decision: privatized
+	// per-worker copies versus in-place scatter, with the model's evidence.
+	Accum []AccumChoice
 }
 
 // Options configures Select.
@@ -58,6 +66,12 @@ type Options struct {
 	// Exact uses exact distinct counting instead of sketching (slower; for
 	// validation).
 	Exact bool
+	// Workers is the parallel width the kernels will run with; used by the
+	// accumulation model (<= 0 → GOMAXPROCS).
+	Workers int
+	// Accum forces one accumulation backend for every mode; accum.Auto
+	// (the zero value) lets the model decide per mode.
+	Accum accum.Strategy
 }
 
 // Select runs the model-driven selection for x: estimate the projection
@@ -134,7 +148,24 @@ func SelectWithEstimator(est *Estimator, opt Options) *Plan {
 		chosen = best
 	}
 	plan.Chosen = plan.Candidates[chosen]
+	plan.Workers = opt.Workers
+	if plan.Workers <= 0 {
+		plan.Workers = par.MaxWorkers()
+	}
+	fillAccum(plan, plan.Workers, accum.DefaultCosts)
+	applyAccumOverride(plan, opt.Accum)
 	return plan
+}
+
+// applyAccumOverride pins every mode's accumulation strategy to a forced
+// backend, keeping the model's predictions as evidence in the plan.
+func applyAccumOverride(p *Plan, s accum.Strategy) {
+	if s == accum.Auto {
+		return
+	}
+	for i := range p.Accum {
+		p.Accum[i].Strategy = s
+	}
 }
 
 func dedupCandidates(cs []Candidate) []Candidate {
@@ -220,6 +251,17 @@ func (p *Plan) String() string {
 	}
 	if p.BudgetFallback {
 		fmt.Fprintf(&b, "budget fallback: no candidate fits %s; chose the smallest footprint\n", fmtBytes(p.Budget))
+	}
+	if len(p.Accum) > 0 {
+		fmt.Fprintf(&b, "accum (workers=%d):\n", p.Workers)
+		fmt.Fprintf(&b, "  %-6s %10s %-10s %12s %12s %12s %s\n",
+			"mode", "rows", "strategy", "scatter", "privatize", "footprint", "feasible")
+		for _, a := range p.Accum {
+			fmt.Fprintf(&b, "  %-6d %10d %-10s %12s %12s %12s %v\n",
+				a.Mode, a.Rows, a.Strategy,
+				time.Duration(a.ScatterNS), time.Duration(a.PrivatizeNS),
+				fmtBytes(a.FootprintBytes), a.Feasible)
+		}
 	}
 	return b.String()
 }

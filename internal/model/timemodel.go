@@ -5,6 +5,7 @@ import (
 
 	"adatm/internal/dense"
 	"adatm/internal/memo"
+	"adatm/internal/par"
 	"adatm/internal/tensor"
 )
 
@@ -22,6 +23,7 @@ import (
 type Coeffs struct {
 	NsPerOp   float64 // nanoseconds per fused multiply–add on a factor row
 	NsPerByte float64 // nanoseconds per byte of streaming traffic
+	NsPerLock float64 // nanoseconds per uncontended mutex lock/unlock pair
 }
 
 // Calibrate measures the machine constants with short synthetic probes
@@ -85,7 +87,26 @@ func Calibrate() Coeffs {
 	if dst[1] == -1 {
 		panic("unreachable")
 	}
-	return Coeffs{NsPerOp: nsPerOp, NsPerByte: nsPerByte}
+
+	// Lock probe: uncontended striped lock/unlock pairs over rotating rows,
+	// the per-nonzero synchronization cost of the scatter accumulation.
+	stripes := par.NewStripes(256)
+	const lockIters = 1 << 16
+	best = 0
+	for rep := 0; rep < reps; rep++ {
+		start := time.Now()
+		for i := 0; i < lockIters; i++ {
+			stripes.Lock(int32(i))
+			stripes.Unlock(int32(i))
+		}
+		d := time.Since(start)
+		if best == 0 || d < best {
+			best = d
+		}
+	}
+	nsPerLock := float64(best.Nanoseconds()) / lockIters
+
+	return Coeffs{NsPerOp: nsPerOp, NsPerByte: nsPerByte, NsPerLock: nsPerLock}
 }
 
 // TrafficBytes estimates the per-iteration memory traffic of a strategy:
@@ -161,6 +182,11 @@ func SelectByTime(x *tensor.COO, opt Options, c Coeffs) *Plan {
 			}
 		}
 	}
+	// The accumulation table depends on the chosen candidate's footprint
+	// (budget slack) and now has calibrated coefficients available —
+	// recompute it against the time-ranked choice.
+	fillAccum(plan, plan.Workers, c.AccumCosts())
+	applyAccumOverride(plan, opt.Accum)
 	return plan
 }
 

@@ -299,11 +299,21 @@ func ForChunks(bounds []int, workers int, body func(worker, lo, hi int)) {
 	wg.Wait()
 }
 
+// paddedMutex spaces adjacent stripes one cache line apart. A bare
+// sync.Mutex is 8 bytes, so an unpadded []sync.Mutex packs 8 stripes per
+// 64-byte line and every lock acquisition invalidates its seven neighbours
+// on other cores — false sharing that BenchmarkStripesScatter measures as a
+// multiple on contended scatters.
+type paddedMutex struct {
+	mu sync.Mutex
+	_  [64 - 8]byte
+}
+
 // Stripes is a fixed pool of mutexes used to protect scatter updates into a
 // large row-indexed array without one lock per row. Rows hash to stripes by
 // low bits, so the stripe count must be a power of two.
 type Stripes struct {
-	locks []sync.Mutex
+	locks []paddedMutex
 	mask  uint32
 }
 
@@ -314,7 +324,7 @@ func NewStripes(n int) *Stripes {
 	for size < n {
 		size <<= 1
 	}
-	return &Stripes{locks: make([]sync.Mutex, size), mask: uint32(size - 1)}
+	return &Stripes{locks: make([]paddedMutex, size), mask: uint32(size - 1)}
 }
 
 // maxStripes caps StripesFor: past a few thousand stripes the collision
@@ -333,11 +343,22 @@ func StripesFor(rows int) *Stripes {
 	return NewStripes(n)
 }
 
+// EnsureStripes returns a stripe set sized for scatter updates into rows
+// output rows, reusing s when it is already big enough (or already at the
+// stripe cap). This is the grow-on-demand step every scatter engine runs at
+// kernel entry; it was previously copy-pasted per engine.
+func EnsureStripes(s *Stripes, rows int) *Stripes {
+	if s == nil || (s.Len() < rows && s.Len() < maxStripes) {
+		return StripesFor(rows)
+	}
+	return s
+}
+
 // Lock acquires the stripe owning row i.
-func (s *Stripes) Lock(i int32) { s.locks[uint32(i)&s.mask].Lock() }
+func (s *Stripes) Lock(i int32) { s.locks[uint32(i)&s.mask].mu.Lock() }
 
 // Unlock releases the stripe owning row i.
-func (s *Stripes) Unlock(i int32) { s.locks[uint32(i)&s.mask].Unlock() }
+func (s *Stripes) Unlock(i int32) { s.locks[uint32(i)&s.mask].mu.Unlock() }
 
 // Len reports the number of stripes.
 func (s *Stripes) Len() int { return len(s.locks) }

@@ -1,0 +1,96 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestEnsureStripes pins the grow-on-demand semantics shared by the scatter
+// engines: nil allocates, a larger mode grows, a smaller or equal mode
+// reuses, and sets at the cap never grow again.
+func TestEnsureStripes(t *testing.T) {
+	s := EnsureStripes(nil, 100)
+	if s == nil || s.Len() != 128 {
+		t.Fatalf("EnsureStripes(nil, 100).Len() = %v, want 128", s.Len())
+	}
+	if got := EnsureStripes(s, 64); got != s {
+		t.Fatal("smaller mode reallocated the stripe set")
+	}
+	if got := EnsureStripes(s, 128); got != s {
+		t.Fatal("equal mode reallocated the stripe set")
+	}
+	// The grow-on-larger-mode path: a 3-mode tensor whose first MTTKRP ran
+	// on a short mode must re-size when a taller mode comes through.
+	grown := EnsureStripes(s, 5000)
+	if grown == s || grown.Len() != 8192 {
+		t.Fatalf("larger mode: Len() = %d (reused=%v), want fresh 8192", grown.Len(), grown == s)
+	}
+	// At the cap, even much larger modes reuse.
+	if got := EnsureStripes(grown, 1<<24); got != grown {
+		t.Fatal("capped set reallocated for a huge mode")
+	}
+}
+
+// unpaddedStripes is the pre-padding layout (8 sync.Mutex per cache line),
+// kept here solely as the benchmark baseline for the false-sharing fix.
+type unpaddedStripes struct {
+	locks []sync.Mutex
+	mask  uint32
+}
+
+func newUnpaddedStripes(n int) *unpaddedStripes {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	return &unpaddedStripes{locks: make([]sync.Mutex, size), mask: uint32(size - 1)}
+}
+
+func (s *unpaddedStripes) Lock(i int32)   { s.locks[uint32(i)&s.mask].Lock() }
+func (s *unpaddedStripes) Unlock(i int32) { s.locks[uint32(i)&s.mask].Unlock() }
+
+// scatterRows mimics a contended MTTKRP scatter: every worker walks the same
+// row cycle, taking the row's stripe and updating R=16 output floats. With
+// 64 rows on 64 stripes, distinct rows never share a lock — any remaining
+// slowdown versus one worker is line bouncing, which is exactly what the
+// padding removes.
+const (
+	scatterRows = 64
+	scatterR    = 16
+)
+
+type lockSet interface {
+	Lock(i int32)
+	Unlock(i int32)
+}
+
+func benchScatter(b *testing.B, locks lockSet) {
+	workers := runtime.GOMAXPROCS(0)
+	out := make([]float64, scatterRows*scatterR)
+	b.ResetTimer()
+	ForWorker(b.N, workers, func(w, lo, hi int) {
+		for it := lo; it < hi; it++ {
+			row := int32((it + w*7) % scatterRows)
+			locks.Lock(row)
+			o := out[int(row)*scatterR : (int(row)+1)*scatterR]
+			for j := range o {
+				o[j] += 1
+			}
+			locks.Unlock(row)
+		}
+	})
+}
+
+// BenchmarkStripesScatter pins the padded-vs-unpadded delta under a
+// contended scatter. Run with -cpu to sweep widths:
+//
+//	go test ./internal/par/ -run='^$' -bench=StripesScatter -cpu=1,4,8
+func BenchmarkStripesScatter(b *testing.B) {
+	b.Run("padded", func(b *testing.B) {
+		benchScatter(b, NewStripes(scatterRows))
+	})
+	b.Run("unpadded", func(b *testing.B) {
+		benchScatter(b, newUnpaddedStripes(scatterRows))
+	})
+}

@@ -15,5 +15,12 @@ make test-race
 # bench code cannot bitrot silently.
 go vet ./cmd/...
 go test -race ./cmd/...
+
+# The scatter-vs-privatize agreement suite runs again under the race detector
+# at a forced multi-worker width: the privatized pool's epoch stamping and the
+# tiled parallel reduction are the shared-state hot spots of the accum layer,
+# and the high-contention short-mode tensor maximizes the interleavings.
+GOMAXPROCS=4 go test -race -count=1 -run 'TestConformanceAccum' ./internal/engine/
+
 make bench-smoke
 make obs-smoke

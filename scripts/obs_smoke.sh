@@ -49,7 +49,8 @@ for series in adatm_memo_hits_total adatm_memo_misses_total \
     adatm_cpd_phase_seconds_bucket adatm_cpd_iterations_total \
     adatm_par_chunk_imbalance_ratio adatm_go_goroutines \
     adatm_build_info adatm_model_predicted_ops adatm_model_measured_ops \
-    adatm_model_ops_relative_error adatm_model_top1_agreement; do
+    adatm_model_ops_relative_error adatm_model_top1_agreement \
+    adatm_accum_strategy adatm_accum_reduce_seconds adatm_accum_pool_bytes; do
     grep -q "$series" "$tmp/metrics" || { echo "obs-smoke: /metrics missing $series"; cat "$tmp/metrics"; exit 1; }
 done
 # The relative-error gauge must carry a finite value (the reconciler clamps
@@ -67,6 +68,7 @@ grep -q '"predicted"' "$tmp/plan" || { echo "obs-smoke: /plan missing prediction
 grep -q '"measured"' "$tmp/plan" || { echo "obs-smoke: /plan missing measurements"; cat "$tmp/plan"; exit 1; }
 grep -q '"rel_err"' "$tmp/plan" || { echo "obs-smoke: /plan missing relative errors"; cat "$tmp/plan"; exit 1; }
 grep -q '"top1_agreement"' "$tmp/plan" || { echo "obs-smoke: /plan missing top-1 verdict"; cat "$tmp/plan"; exit 1; }
+grep -q '"accum"' "$tmp/plan" || { echo "obs-smoke: /plan missing accumulation choices"; cat "$tmp/plan"; exit 1; }
 grep -qiE '"rel_err": *"?(nan|-?inf)' "$tmp/plan" && { echo "obs-smoke: non-finite rel_err in /plan"; cat "$tmp/plan"; exit 1; }
 
 kill "$pid"
