@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-kernels bench-mttkrp obs-smoke ci fuzz experiments experiments-quick examples clean
+.PHONY: all build vet test test-race bench bench-smoke bench-kernels bench-mttkrp obs-smoke ckpt-smoke ci fuzz experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -31,6 +31,11 @@ bench-smoke:
 # server, scrape /metrics + /healthz + /run, and validate the trace export.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# End-to-end crash/resume check: SIGKILL a checkpointed cpd run mid-flight,
+# resume it, and require the uninterrupted fit plus adatm_ckpt_* metrics.
+ckpt-smoke:
+	./scripts/ckpt_smoke.sh
 
 # Machine-readable microbenchmarks of the shared kernel layer.
 bench-kernels:

@@ -23,6 +23,7 @@ import (
 
 	"adatm/internal/accum"
 	"adatm/internal/audit"
+	"adatm/internal/ckpt"
 	"adatm/internal/coo"
 	"adatm/internal/cpd"
 	"adatm/internal/csf"
@@ -106,6 +107,13 @@ type (
 	// striped-lock scatter, per-worker privatized copies with a parallel
 	// reduction, or model-driven per-mode auto-selection.
 	AccumStrategy = accum.Strategy
+	// CheckpointConfig enables periodic crash-safe checkpoints of a run
+	// (directory, cadence, rolling retention). Attach via
+	// Options.Checkpoint; resume with Resume.
+	CheckpointConfig = cpd.CheckpointConfig
+	// AuditEvent is a run-lifecycle entry in the audit ledger (e.g. a
+	// checkpoint resume), alongside decisions and reports.
+	AuditEvent = audit.Event
 )
 
 // Accumulation backends for Options.Accum / EngineConfig.Accum.
@@ -255,10 +263,24 @@ type Options struct {
 	// reconciliation of that decision against the measured counters. Build
 	// one with NewAuditRecorder.
 	Audit *AuditRecorder
+	// Checkpoint, when non-nil, writes crash-safe checkpoints during the
+	// run (atomic temp-file+rename protocol, rolling retention). A killed
+	// run restarts from the newest checkpoint with Resume.
+	Checkpoint *CheckpointConfig
 }
 
 // Decompose computes a rank-R CP decomposition of x.
 func Decompose(x *Tensor, opt Options) (*Result, error) {
+	eng, err := engineFor(x, opt)
+	if err != nil {
+		return nil, err
+	}
+	return DecomposeWith(x, eng, opt)
+}
+
+// engineFor builds, audits, and instruments the engine Decompose (and
+// Resume) would use for opt.
+func engineFor(x *Tensor, opt Options) (Engine, error) {
 	kind := opt.Engine
 	if kind == "" {
 		kind = EngineAdaptive
@@ -271,13 +293,12 @@ func Decompose(x *Tensor, opt Options) (*Result, error) {
 		opt.Audit.RecordDecision(audit.NewDecision(plan))
 	}
 	Instrument(eng, opt.Tracer, opt.Metrics)
-	return DecomposeWith(x, eng, opt)
+	return eng, nil
 }
 
-// DecomposeWith runs CP-ALS with a caller-provided engine (for custom
-// strategies or instrumentation).
-func DecomposeWith(x *Tensor, eng Engine, opt Options) (*Result, error) {
-	return cpd.Run(x, eng, cpd.Options{
+// cpdOptions translates the public Options into the solver's.
+func cpdOptions(opt Options) cpd.Options {
+	return cpd.Options{
 		Rank:         opt.Rank,
 		MaxIters:     opt.MaxIters,
 		Tol:          opt.Tol,
@@ -294,7 +315,42 @@ func DecomposeWith(x *Tensor, eng Engine, opt Options) (*Result, error) {
 		Tracer:       opt.Tracer,
 		Metrics:      opt.Metrics,
 		Audit:        opt.Audit,
-	})
+		Checkpoint:   opt.Checkpoint,
+	}
+}
+
+// DecomposeWith runs CP-ALS with a caller-provided engine (for custom
+// strategies or instrumentation).
+func DecomposeWith(x *Tensor, eng Engine, opt Options) (*Result, error) {
+	return cpd.Run(x, eng, cpdOptions(opt))
+}
+
+// Resume restarts an interrupted checkpointed run from the newest valid
+// checkpoint in opt.Checkpoint.Dir. The tensor and the
+// trajectory-determining options (rank, ridge, constraints, mode order)
+// must match the checkpointed run — a fingerprint mismatch is refused.
+// The run continues exactly where it stopped: a resumed run reaches the
+// same fit as an uninterrupted one.
+func Resume(x *Tensor, opt Options) (*Result, error) {
+	if opt.Checkpoint == nil || opt.Checkpoint.Dir == "" {
+		return nil, fmt.Errorf("adatm: Resume requires Options.Checkpoint.Dir")
+	}
+	mgr, err := ckpt.NewManager(opt.Checkpoint.Dir, opt.Checkpoint.Retain)
+	if err != nil {
+		return nil, err
+	}
+	c, path, err := mgr.LoadLatest()
+	if err != nil {
+		return nil, fmt.Errorf("adatm: resume: %w", err)
+	}
+	if opt.Audit != nil {
+		opt.Audit.RecordEvent(audit.Event{Kind: "resume.load", Iter: c.Iter, Path: path, Fingerprint: c.Fingerprint})
+	}
+	eng, err := engineFor(x, opt)
+	if err != nil {
+		return nil, err
+	}
+	return cpd.Resume(x, eng, c, cpdOptions(opt))
 }
 
 // NewAuditRecorder builds a model-audit recorder over the configured sinks

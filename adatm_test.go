@@ -245,3 +245,47 @@ func TestMemoryBudgetPlumbing(t *testing.T) {
 		t.Errorf("iters = %d", res.Iters)
 	}
 }
+
+func TestResumeFromCheckpoint(t *testing.T) {
+	x := testTensor(t)
+	opt := adatm.Options{Rank: 4, MaxIters: 10, Tol: 1e-300, Seed: 2, Engine: adatm.EngineCOO, TrackFit: true}
+	ref, err := adatm.Decompose(x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := filepath.Join(t.TempDir(), "ck")
+	stopped := opt
+	stopped.Checkpoint = &adatm.CheckpointConfig{Dir: dir, Every: 1, Retain: 3}
+	n := 0
+	stopped.Progress = func(adatm.IterStats) bool { n++; return n < 4 }
+	if _, err := adatm.Decompose(x, stopped); err != nil {
+		t.Fatal(err)
+	}
+
+	var ledger strings.Builder
+	resumed := opt
+	resumed.Checkpoint = &adatm.CheckpointConfig{Dir: dir, Every: 1, Retain: 3}
+	resumed.Audit = adatm.NewAuditRecorder(adatm.AuditConfig{Ledger: &ledger})
+	res, err := adatm.Resume(x, resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != ref.Iters || math.Abs(res.Fit-ref.Fit) > 1e-12 {
+		t.Fatalf("resumed iters=%d fit=%v, want iters=%d fit=%v", res.Iters, res.Fit, ref.Iters, ref.Fit)
+	}
+	if !strings.Contains(ledger.String(), "resume") {
+		t.Errorf("audit ledger missing resume event: %q", ledger.String())
+	}
+
+	// Resume demands a configured checkpoint directory...
+	if _, err := adatm.Resume(x, opt); err == nil {
+		t.Error("Resume without Checkpoint.Dir accepted")
+	}
+	// ...and at least one checkpoint in it.
+	empty := opt
+	empty.Checkpoint = &adatm.CheckpointConfig{Dir: filepath.Join(t.TempDir(), "none")}
+	if _, err := adatm.Resume(x, empty); err == nil {
+		t.Error("Resume from empty directory accepted")
+	}
+}

@@ -7,6 +7,8 @@
 //	cpd -in tensor.tns -rank 16 -budget 512MiB       # cap memoization memory
 //	cpd -in tensor.tns -rank 16 -out factors         # write factors_mode<k>.txt
 //	cpd -in tensor.tns -plan                         # print the model's plan only
+//	cpd -in tensor.tns -rank 16 -checkpoint ck       # crash-safe checkpoints
+//	cpd -in tensor.tns -rank 16 -checkpoint ck -resume   # continue a killed run
 package main
 
 import (
@@ -16,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	"runtime/trace"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"adatm"
@@ -58,6 +62,10 @@ func main() {
 		complete  = flag.Bool("complete", false, "masked completion: fit observed entries only (ratings semantics)")
 		apr       = flag.Bool("apr", false, "Poisson CP (CP-APR): maximize Poisson likelihood for count data")
 		modelPath = flag.String("model", "", "write the fitted model (lambda + factors) to this JSON file")
+		ckptDir   = flag.String("checkpoint", "", "write crash-safe checkpoints to this directory during the run (standard CP-ALS only)")
+		ckptEvery = flag.String("ckpt-every", "1", "checkpoint cadence: an iteration count (e.g. 5) or a wall-clock duration (e.g. 30s)")
+		ckptKeep  = flag.Int("ckpt-retain", 3, "rolling retention: keep this many newest checkpoints (0 = keep all)")
+		resume    = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint instead of starting fresh")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -167,9 +175,34 @@ func main() {
 		CollectStats: *jsonOut,
 	}
 	obsst.options(&opt)
+	if *ckptDir != "" {
+		cfg := &adatm.CheckpointConfig{Dir: *ckptDir, Retain: *ckptKeep}
+		if n, err := strconv.Atoi(*ckptEvery); err == nil {
+			cfg.Every = n
+		} else if d, err := time.ParseDuration(*ckptEvery); err == nil {
+			cfg.Interval = d
+		} else {
+			fatal(fmt.Errorf("bad -ckpt-every %q: want an iteration count or a duration", *ckptEvery))
+		}
+		opt.Checkpoint = cfg
+	} else if *resume {
+		fatal(fmt.Errorf("-resume requires -checkpoint <dir>"))
+	}
+	ctx := context.Background()
 	if *timeout > 0 {
-		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		tctx, cancel := context.WithTimeout(ctx, *timeout)
 		defer cancel()
+		ctx = tctx
+	}
+	if opt.Checkpoint != nil {
+		// A SIGINT/SIGTERM cancels the run between mode updates; the solver
+		// writes a final checkpoint of the last completed iteration before
+		// returning, so an interrupted run loses at most one sweep.
+		sctx, stop := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		ctx = sctx
+	}
+	if ctx != context.Background() {
 		opt.Ctx = ctx
 	}
 	if *progress {
@@ -180,7 +213,12 @@ func main() {
 		}
 	}
 	opt.Progress = obsst.progress(*engName, *rank, opt.Progress)
-	res, err := adatm.Decompose(x, opt)
+	var res *adatm.Result
+	if *resume {
+		res, err = adatm.Resume(x, opt)
+	} else {
+		res, err = adatm.Decompose(x, opt)
+	}
 	if err != nil {
 		if res != nil && res.Stopped {
 			fmt.Fprintf(os.Stderr, "cpd: stopped early: %v\n", err)

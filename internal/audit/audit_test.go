@@ -306,3 +306,48 @@ func TestRecordString(t *testing.T) {
 		}
 	}
 }
+
+func TestRecordEventLedgerAndValidate(t *testing.T) {
+	var ledger bytes.Buffer
+	var logs bytes.Buffer
+	rec := NewRecorder(Config{Ledger: &ledger, Logger: slog.New(slog.NewTextHandler(&logs, nil))})
+	rec.RecordEvent(Event{Kind: "resume", Iter: 7, Path: "ck/ckpt-00000007.json", Fingerprint: "deadbeef"})
+	rec.RecordEvent(Event{}) // kindless events are dropped, not written
+
+	n, err := ValidateLedger(bytes.NewReader(ledger.Bytes()))
+	if err != nil || n != 1 {
+		t.Fatalf("ValidateLedger = %d, %v; ledger: %s", n, err, ledger.String())
+	}
+	for _, want := range []string{`"kind":"resume"`, `"iter":7`, "deadbeef"} {
+		if !strings.Contains(ledger.String(), want) {
+			t.Errorf("ledger missing %s: %s", want, ledger.String())
+		}
+	}
+	if !strings.Contains(logs.String(), "run.resume") {
+		t.Errorf("log missing run.resume: %s", logs.String())
+	}
+
+	// A mixed ledger (decision line + event line) validates; a kindless
+	// event line does not.
+	mixed := ledger.String() + "\n" + `{"decision":{"chosen":"A"}}` + "\n"
+	if n, err := ValidateLedger(strings.NewReader(mixed)); err != nil || n != 2 {
+		t.Errorf("mixed ledger = %d, %v", n, err)
+	}
+	if _, err := ValidateLedger(strings.NewReader(`{"event":{"iter":3}}`)); err == nil {
+		t.Error("kindless event accepted")
+	}
+}
+
+func TestEventRecordString(t *testing.T) {
+	r := Record{Event: &Event{Kind: "resume", Iter: 4, Path: "p.json"}}
+	s := r.String()
+	if !strings.Contains(s, "resume") || !strings.Contains(s, "4") {
+		t.Errorf("event record renders as %q", s)
+	}
+}
+
+// A nil recorder must remain free to use from every path, events included.
+func TestNilRecorderEvent(t *testing.T) {
+	var rec *Recorder
+	rec.RecordEvent(Event{Kind: "resume"})
+}

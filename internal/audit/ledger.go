@@ -9,16 +9,38 @@ import (
 )
 
 // Record is one ledger entry: a decision plus (once the run finished) its
-// reconciliation. Sweeps accumulate one entry per reconciled candidate.
+// reconciliation, or a standalone run-lifecycle event (e.g. a checkpoint
+// resume). Sweeps accumulate one entry per reconciled candidate.
 type Record struct {
-	Decision *Decision `json:"decision"`
+	Decision *Decision `json:"decision,omitempty"`
 	Report   *Report   `json:"report,omitempty"`
+	Event    *Event    `json:"event,omitempty"`
+}
+
+// Event is a run-lifecycle entry in the ledger outside the model-selection
+// flow: currently checkpoint resumes, which explain why a run's measured
+// iteration counts start mid-trajectory.
+type Event struct {
+	// Kind identifies the event ("resume").
+	Kind string `json:"kind"`
+	// Iter is the ALS iteration the event refers to (for a resume: the
+	// checkpointed iteration the run continues from).
+	Iter int `json:"iter,omitempty"`
+	// Path is the checkpoint file involved, when known.
+	Path string `json:"path,omitempty"`
+	// Fingerprint is the tensor+plan fingerprint the checkpoint was
+	// validated against.
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // String renders the record for human consumption: the decision summary
 // followed by the reconciliation table (when present).
 func (rec Record) String() string {
 	if rec.Decision == nil {
+		if ev := rec.Event; ev != nil {
+			return fmt.Sprintf("event: kind=%s iter=%d path=%s fingerprint=%s\n",
+				ev.Kind, ev.Iter, ev.Path, ev.Fingerprint)
+		}
 		return "audit: no decision recorded\n"
 	}
 	d := rec.Decision
@@ -63,8 +85,9 @@ func (l *Ledger) Append(rec Record) error {
 }
 
 // ValidateLedger checks a JSONL decision ledger: every non-empty line must
-// parse as a Record carrying a decision with a chosen candidate. Returns the
-// number of valid records, stopping at the first malformed line.
+// parse as a Record carrying either a decision with a chosen candidate or a
+// lifecycle event with a kind. Returns the number of valid records,
+// stopping at the first malformed line.
 func ValidateLedger(r io.Reader) (int, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<26)
@@ -80,11 +103,17 @@ func ValidateLedger(r io.Reader) (int, error) {
 		if err := json.Unmarshal(text, &rec); err != nil {
 			return n, fmt.Errorf("audit: ledger line %d: %w", line, err)
 		}
-		if rec.Decision == nil {
+		switch {
+		case rec.Decision != nil:
+			if rec.Decision.Chosen == "" {
+				return n, fmt.Errorf("audit: ledger line %d: decision has no chosen candidate", line)
+			}
+		case rec.Event != nil:
+			if rec.Event.Kind == "" {
+				return n, fmt.Errorf("audit: ledger line %d: event has no kind", line)
+			}
+		default:
 			return n, fmt.Errorf("audit: ledger line %d: missing decision", line)
-		}
-		if rec.Decision.Chosen == "" {
-			return n, fmt.Errorf("audit: ledger line %d: decision has no chosen candidate", line)
 		}
 		n++
 	}

@@ -90,6 +90,24 @@ func (r *Recorder) RecordDecision(d *Decision) {
 	}
 }
 
+// RecordEvent appends a run-lifecycle event (e.g. a checkpoint resume) to
+// the ledger and emits it as a structured log event. Events don't disturb
+// the pending decision/report pair.
+func (r *Recorder) RecordEvent(ev Event) {
+	if r == nil || ev.Kind == "" {
+		return
+	}
+	if lg := r.cfg.Logger; lg != nil {
+		lg.Info("run."+ev.Kind,
+			slog.Int("iter", ev.Iter),
+			slog.String("path", ev.Path),
+			slog.String("fingerprint", ev.Fingerprint))
+	}
+	if err := r.ledger.Append(Record{Event: &ev}); err != nil && r.cfg.Logger != nil {
+		r.cfg.Logger.Error("model.ledger_append", slog.String("error", err.Error()))
+	}
+}
+
 // Reconcile reconciles the stored decision against the run's measurements
 // and fans the report out: metrics gauges, log events, the JSONL ledger,
 // and the OnUpdate hook. Returns nil when no decision was recorded (e.g. a

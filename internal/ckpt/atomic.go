@@ -1,0 +1,205 @@
+// Package ckpt provides crash-safe persistence for long CP-ALS runs: an
+// atomic file writer (temp file + fsync + rename + parent-dir fsync), a
+// versioned checkpoint format capturing the ALS loop state at an iteration
+// boundary, and a rolling-retention checkpoint manager. A deterministic
+// fault-injection hook lets tests kill a write at any point of the protocol
+// and assert that no corrupt or partially-written file is ever observable.
+package ckpt
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+)
+
+// FaultPoint names one step of the atomic-write protocol at which an
+// injected fault fires, simulating a crash at that instant.
+type FaultPoint int
+
+const (
+	// FaultNone disables the fault.
+	FaultNone FaultPoint = iota
+	// FaultBeforeWrite fails before the temp file is created: the crash
+	// happens before any byte reaches disk.
+	FaultBeforeWrite
+	// FaultMidWrite fails after Fault.AfterBytes bytes have been accepted
+	// by the temp file's writer: the crash leaves a truncated temp file
+	// that must never replace the target.
+	FaultMidWrite
+	// FaultAfterRename fails after the rename committed the new file but
+	// before the parent directory is fsynced: the new content is already
+	// the durable winner on any journaled filesystem, and the caller's
+	// post-write bookkeeping (retention pruning, counters) is lost.
+	FaultAfterRename
+)
+
+// String names the fault point for test output.
+func (p FaultPoint) String() string {
+	switch p {
+	case FaultNone:
+		return "none"
+	case FaultBeforeWrite:
+		return "before-write"
+	case FaultMidWrite:
+		return "mid-write"
+	case FaultAfterRename:
+		return "after-rename"
+	}
+	return fmt.Sprintf("FaultPoint(%d)", int(p))
+}
+
+// ErrInjected is the sentinel wrapped by every injected fault, so tests can
+// distinguish a simulated crash from a real I/O error.
+var ErrInjected = errors.New("ckpt: injected fault")
+
+// Fault is one armed fault for crash-safety tests. The first write attempt
+// after Skip successful writes fires the fault at the configured point;
+// every later attempt fires too (a crashed process does not come back).
+type Fault struct {
+	Point FaultPoint
+	// AfterBytes is the number of bytes the temp-file writer accepts
+	// before failing (FaultMidWrite only).
+	AfterBytes int64
+	// Skip is the number of atomic writes allowed to complete before the
+	// fault fires, making "crash during the k-th checkpoint" deterministic.
+	Skip int32
+
+	writes atomic.Int32
+}
+
+// fires reports whether this write attempt is past the skip window.
+func (f *Fault) fires() bool {
+	if f == nil || f.Point == FaultNone {
+		return false
+	}
+	return f.writes.Add(1) > f.Skip
+}
+
+// globalFault is the process-wide injected fault consulted by every
+// AtomicWriter with no per-writer fault. Test-only; see InjectFault.
+var globalFault atomic.Pointer[Fault]
+
+// InjectFault arms a process-wide fault for every subsequent atomic write
+// (test hook — production code never sets it). The returned function
+// restores the previous state; call it before the test returns.
+func InjectFault(f *Fault) (restore func()) {
+	old := globalFault.Swap(f)
+	return func() { globalFault.Store(old) }
+}
+
+// AtomicWriter writes files crash-atomically: the content goes to a hidden
+// temp file in the target's directory, is fsynced, then renamed over the
+// target, and the parent directory is fsynced so the rename itself is
+// durable. At no instant is a torn target visible: readers see either the
+// complete old file or the complete new one.
+//
+// The zero value is ready to use.
+type AtomicWriter struct {
+	// Fault, when non-nil, overrides the process-wide injected fault for
+	// this writer (deterministic per-writer crash tests).
+	Fault *Fault
+}
+
+// shortWriter accepts up to n bytes and then fails with ErrInjected,
+// simulating a process killed mid-write.
+type shortWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (s *shortWriter) Write(p []byte) (int, error) {
+	if s.n <= 0 {
+		return 0, fmt.Errorf("write after %w", ErrInjected)
+	}
+	if int64(len(p)) > s.n {
+		n, _ := s.w.Write(p[:s.n])
+		s.n = 0
+		return n, fmt.Errorf("short write: %w", ErrInjected)
+	}
+	n, err := s.w.Write(p)
+	s.n -= int64(n)
+	return n, err
+}
+
+// WriteFile atomically replaces path with the bytes produced by write. On
+// any error (including an injected fault) the temp file is removed and the
+// previous target content is untouched; only a completed rename publishes
+// the new content.
+func (aw *AtomicWriter) WriteFile(path string, write func(io.Writer) error) (err error) {
+	var fault *Fault
+	if aw != nil && aw.Fault != nil {
+		fault = aw.Fault
+	} else {
+		fault = globalFault.Load()
+	}
+	firing := fault.fires()
+	if firing && fault.Point == FaultBeforeWrite {
+		return fmt.Errorf("ckpt: write %s: %w", path, ErrInjected)
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("ckpt: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpName)
+		}
+	}()
+
+	var w io.Writer = tmp
+	if firing && fault.Point == FaultMidWrite {
+		w = &shortWriter{w: tmp, n: fault.AfterBytes}
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err = write(bw); err != nil {
+		return err
+	}
+	if err = bw.Flush(); err != nil {
+		return err
+	}
+	// fsync before rename: the content must be durable before the name
+	// points at it, or a crash after the rename could expose an empty or
+	// torn file on power loss.
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmpName, path); err != nil {
+		return err
+	}
+	if firing && fault.Point == FaultAfterRename {
+		// The rename committed: the new file is the durable content. Only
+		// the post-rename bookkeeping is lost.
+		return fmt.Errorf("ckpt: post-rename %s: %w", path, ErrInjected)
+	}
+	return syncDir(dir)
+}
+
+// WriteFileAtomic writes path crash-atomically with a zero-value writer —
+// the drop-in replacement for os.Create-then-write in save paths.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	return (&AtomicWriter{}).WriteFile(path, write)
+}
+
+// syncDir fsyncs a directory so a completed rename inside it survives power
+// loss. Some platforms/filesystems reject directory fsync; those errors are
+// ignored (the rename is still atomic, only its durability window widens).
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	d.Sync()
+	return nil
+}

@@ -1,0 +1,151 @@
+package ckpt
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeString(s string) func(io.Writer) error {
+	return func(w io.Writer) error {
+		_, err := io.WriteString(w, s)
+		return err
+	}
+}
+
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// dirEntries returns the names present in dir (for temp-file leak checks).
+func dirEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestWriteFileAtomicReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := WriteFileAtomic(path, writeString("one")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "one" {
+		t.Fatalf("got %q", got)
+	}
+	if err := WriteFileAtomic(path, writeString("two")); err != nil {
+		t.Fatal(err)
+	}
+	if got := readFile(t, path); got != "two" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestWriteFileCallbackErrorKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := WriteFileAtomic(path, writeString("good")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		io.WriteString(w, "partial")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := readFile(t, path); got != "good" {
+		t.Fatalf("target corrupted: %q", got)
+	}
+	if names := dirEntries(t, dir); len(names) != 1 {
+		t.Fatalf("temp file leaked: %v", names)
+	}
+}
+
+func TestFaultPoints(t *testing.T) {
+	const old = "old content that must survive"
+	const next = "replacement payload, long enough to be cut mid-way"
+	cases := []struct {
+		fault   Fault
+		wantNew bool // target holds the new content after the "crash"
+	}{
+		{Fault{Point: FaultBeforeWrite}, false},
+		{Fault{Point: FaultMidWrite, AfterBytes: 8}, false},
+		{Fault{Point: FaultMidWrite, AfterBytes: 0}, false},
+		{Fault{Point: FaultAfterRename}, true},
+	}
+	for i := range cases {
+		tc := &cases[i]
+		t.Run(tc.fault.Point.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "out.txt")
+			if err := WriteFileAtomic(path, writeString(old)); err != nil {
+				t.Fatal(err)
+			}
+			aw := &AtomicWriter{Fault: &tc.fault}
+			err := aw.WriteFile(path, writeString(next))
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("err = %v, want injected fault", err)
+			}
+			want := old
+			if tc.wantNew {
+				want = next
+			}
+			if got := readFile(t, path); got != want {
+				t.Fatalf("after %v: target = %q, want %q", tc.fault.Point, got, want)
+			}
+			if names := dirEntries(t, dir); len(names) != 1 {
+				t.Fatalf("after %v: stray files %v", tc.fault.Point, names)
+			}
+		})
+	}
+}
+
+func TestFaultSkipWindow(t *testing.T) {
+	dir := t.TempDir()
+	aw := &AtomicWriter{Fault: &Fault{Point: FaultBeforeWrite, Skip: 2}}
+	for i := 0; i < 2; i++ {
+		if err := aw.WriteFile(filepath.Join(dir, "f.txt"), writeString("ok")); err != nil {
+			t.Fatalf("write %d inside skip window failed: %v", i, err)
+		}
+	}
+	if err := aw.WriteFile(filepath.Join(dir, "f.txt"), writeString("no")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("third write: err = %v, want injected", err)
+	}
+	// A fired fault keeps firing: the crashed process does not come back.
+	if err := aw.WriteFile(filepath.Join(dir, "f.txt"), writeString("no")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("fourth write: err = %v, want injected", err)
+	}
+}
+
+func TestInjectFaultGlobal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	restore := InjectFault(&Fault{Point: FaultBeforeWrite})
+	err := WriteFileAtomic(path, writeString("x"))
+	restore()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("global fault not consulted: %v", err)
+	}
+	if err := WriteFileAtomic(path, writeString("x")); err != nil {
+		t.Fatalf("after restore: %v", err)
+	}
+	if !strings.Contains(readFile(t, path), "x") {
+		t.Fatal("content missing after restore")
+	}
+}

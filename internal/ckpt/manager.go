@@ -1,0 +1,198 @@
+package ckpt
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"adatm/internal/obs"
+)
+
+// DefaultRetain is the rolling-retention depth when the caller leaves it
+// unset: the newest checkpoints kept on disk.
+const DefaultRetain = 3
+
+// ErrNoCheckpoint is returned by LoadLatest when the directory holds no
+// loadable checkpoint.
+var ErrNoCheckpoint = errors.New("ckpt: no checkpoint found")
+
+// Manager owns one checkpoint directory: atomic writes of numbered
+// checkpoint files, rolling retention of the newest K, and
+// latest-checkpoint discovery for resume. Checkpoints are named
+// ckpt-<iter>.json so the newest is identifiable without parsing.
+type Manager struct {
+	dir    string
+	retain int
+	writer AtomicWriter
+
+	// Optional metrics (nil-safe): write count, bytes, latency, last iter.
+	writes   *obs.Counter
+	errs     *obs.Counter
+	bytes    *obs.Counter
+	seconds  *obs.Histogram
+	lastIter *obs.Gauge
+}
+
+// NewManager creates (if needed) the checkpoint directory and returns a
+// manager with the given retention depth (<= 0 selects DefaultRetain).
+func NewManager(dir string, retain int) (*Manager, error) {
+	if dir == "" {
+		return nil, errors.New("ckpt: empty checkpoint directory")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	if retain <= 0 {
+		retain = DefaultRetain
+	}
+	return &Manager{dir: dir, retain: retain}, nil
+}
+
+// Dir returns the checkpoint directory.
+func (m *Manager) Dir() string { return m.dir }
+
+// SetFault arms a deterministic fault on this manager's writes (test hook).
+func (m *Manager) SetFault(f *Fault) { m.writer.Fault = f }
+
+// Instrument registers the adatm_ckpt_* metrics on reg (idempotent per
+// registry; nil reg is a no-op).
+func (m *Manager) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m.writes = reg.Counter("adatm_ckpt_writes_total",
+		"Checkpoint files written (atomic rename committed).", nil)
+	m.errs = reg.Counter("adatm_ckpt_write_errors_total",
+		"Checkpoint writes that failed before committing.", nil)
+	m.bytes = reg.Counter("adatm_ckpt_bytes_total",
+		"Serialized checkpoint bytes written.", nil)
+	m.seconds = reg.Histogram("adatm_ckpt_write_seconds",
+		"Checkpoint write latency (serialize + fsync + rename).", nil, nil)
+	m.lastIter = reg.Gauge("adatm_ckpt_last_iter",
+		"ALS iteration of the most recently written checkpoint.", nil)
+}
+
+// Path returns the checkpoint file path for an iteration.
+func (m *Manager) Path(iter int) string {
+	return filepath.Join(m.dir, fmt.Sprintf("ckpt-%08d.json", iter))
+}
+
+// countingWriter tallies bytes for the adatm_ckpt_bytes_total counter.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Save atomically writes c to its numbered file and prunes checkpoints
+// beyond the retention depth. The prune runs only after a committed write,
+// so a failed write can never reduce the set of good checkpoints on disk.
+func (m *Manager) Save(c *Checkpoint) (string, error) {
+	path := m.Path(c.Iter)
+	start := time.Now()
+	var written int64
+	err := m.writer.WriteFile(path, func(w io.Writer) error {
+		cw := &countingWriter{w: w}
+		err := Write(cw, c)
+		written = cw.n
+		return err
+	})
+	if err != nil {
+		if m.errs != nil {
+			m.errs.Inc()
+		}
+		return "", err
+	}
+	if m.writes != nil {
+		m.writes.Inc()
+		m.bytes.Add(written)
+		m.seconds.Observe(time.Since(start).Seconds())
+		m.lastIter.Set(float64(c.Iter))
+	}
+	if err := m.prune(); err != nil {
+		return path, err
+	}
+	return path, nil
+}
+
+// List returns the checkpoint iterations present in the directory, ascending.
+func (m *Manager) List() ([]int, error) {
+	ents, err := os.ReadDir(m.dir)
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: %w", err)
+	}
+	var iters []int
+	for _, e := range ents {
+		var it int
+		if n, err := fmt.Sscanf(e.Name(), "ckpt-%d.json", &it); n == 1 && err == nil {
+			iters = append(iters, it)
+		}
+	}
+	sort.Ints(iters)
+	return iters, nil
+}
+
+// prune removes the oldest checkpoints beyond the retention depth.
+func (m *Manager) prune() error {
+	iters, err := m.List()
+	if err != nil {
+		return err
+	}
+	for len(iters) > m.retain {
+		if err := os.Remove(m.Path(iters[0])); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("ckpt: prune: %w", err)
+		}
+		iters = iters[1:]
+	}
+	return nil
+}
+
+// Load reads and validates one checkpoint file.
+func Load(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// LoadLatest returns the newest loadable checkpoint and its path. A
+// checkpoint that fails to parse or validate is skipped in favor of the
+// next-newest (defense in depth — the atomic writer should make corruption
+// unobservable, but resuming from an older good state always beats
+// refusing to resume at all). ErrNoCheckpoint is returned when nothing
+// loadable remains; the last corruption error is attached when one was seen.
+func (m *Manager) LoadLatest() (*Checkpoint, string, error) {
+	iters, err := m.List()
+	if err != nil {
+		return nil, "", err
+	}
+	var lastErr error
+	for i := len(iters) - 1; i >= 0; i-- {
+		path := m.Path(iters[i])
+		c, err := Load(path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return c, path, nil
+	}
+	if lastErr != nil {
+		return nil, "", fmt.Errorf("%w (newest unreadable: %v)", ErrNoCheckpoint, lastErr)
+	}
+	return nil, "", ErrNoCheckpoint
+}

@@ -1,0 +1,136 @@
+package ckpt
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"adatm/internal/obs"
+)
+
+func managerCheckpoint(iter int) *Checkpoint {
+	rng := rand.New(rand.NewSource(int64(iter)))
+	c := randomCheckpoint(rng, 3)
+	c.Iter = iter
+	return c
+}
+
+func TestManagerRetention(t *testing.T) {
+	m, err := NewManager(filepath.Join(t.TempDir(), "ck"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 1; iter <= 7; iter++ {
+		if _, err := m.Save(managerCheckpoint(iter)); err != nil {
+			t.Fatalf("save %d: %v", iter, err)
+		}
+	}
+	iters, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 3 || iters[0] != 5 || iters[2] != 7 {
+		t.Fatalf("retention kept %v, want [5 6 7]", iters)
+	}
+}
+
+func TestManagerLoadLatest(t *testing.T) {
+	m, err := NewManager(filepath.Join(t.TempDir(), "ck"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := m.LoadLatest(); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v", err)
+	}
+	for _, iter := range []int{2, 9, 4} {
+		if _, err := m.Save(managerCheckpoint(iter)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c, path, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Iter != 9 || path != m.Path(9) {
+		t.Fatalf("latest = iter %d (%s), want 9", c.Iter, path)
+	}
+}
+
+// TestManagerLoadLatestSkipsCorrupt: a corrupt newest file (written outside
+// the atomic protocol) must not block resume — the next-newest good
+// checkpoint wins.
+func TestManagerLoadLatestSkipsCorrupt(t *testing.T) {
+	m, err := NewManager(filepath.Join(t.TempDir(), "ck"), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, iter := range []int{3, 6} {
+		if _, err := m.Save(managerCheckpoint(iter)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(m.Path(8), []byte("{torn"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	c, _, err := m.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Iter != 6 {
+		t.Fatalf("latest = iter %d, want fallback to 6", c.Iter)
+	}
+}
+
+func TestManagerFailedWriteKeepsGoodCheckpoints(t *testing.T) {
+	m, err := NewManager(filepath.Join(t.TempDir(), "ck"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for iter := 1; iter <= 2; iter++ {
+		if _, err := m.Save(managerCheckpoint(iter)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.SetFault(&Fault{Point: FaultMidWrite, AfterBytes: 40})
+	if _, err := m.Save(managerCheckpoint(3)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	m.SetFault(nil)
+	iters, err := m.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 2 || iters[0] != 1 || iters[1] != 2 {
+		t.Fatalf("failed write disturbed retained set: %v", iters)
+	}
+	c, _, err := m.LoadLatest()
+	if err != nil || c.Iter != 2 {
+		t.Fatalf("latest after failed write: %v, %v", c, err)
+	}
+}
+
+func TestManagerMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m, err := NewManager(filepath.Join(t.TempDir(), "ck"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Instrument(reg)
+	for iter := 1; iter <= 4; iter++ {
+		if _, err := m.Save(managerCheckpoint(iter)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if got := snap["adatm_ckpt_writes_total"]; got != 4 {
+		t.Errorf("writes_total = %v, want 4", got)
+	}
+	if got := snap["adatm_ckpt_bytes_total"]; got <= 0 {
+		t.Errorf("bytes_total = %v, want > 0", got)
+	}
+	if got := snap["adatm_ckpt_last_iter"]; got != 4 {
+		t.Errorf("last_iter = %v, want 4", got)
+	}
+}

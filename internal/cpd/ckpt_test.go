@@ -1,0 +1,288 @@
+package cpd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"adatm/internal/ckpt"
+	"adatm/internal/coo"
+	"adatm/internal/tensor"
+)
+
+// ckptOpts is the shared configuration of the crash/resume suite: a
+// tolerance below machine precision so the run always uses all MaxIters,
+// making the reference and resumed trajectories directly comparable.
+func ckptOpts() Options {
+	return Options{Rank: 5, MaxIters: 14, Tol: 1e-300, Seed: 9, TrackFit: true}
+}
+
+func ckptTensor() *tensor.COO {
+	return tensor.RandomClustered(4, 14, 1100, 0.5, 314)
+}
+
+// TestCheckpointResumeMatchesUninterrupted interrupts a checkpointed run at
+// several iterations, resumes from the newest checkpoint, and demands the
+// final fit match the uninterrupted run to 1e-12 (it is bit-identical: the
+// checkpoint restores the exact factor state).
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	x := ckptTensor()
+	ref, err := Run(x, coo.New(x, 1), ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, stopAfter := range []int{1, 5, 13} {
+		dir := filepath.Join(t.TempDir(), "ck")
+		opt := ckptOpts()
+		opt.Checkpoint = &CheckpointConfig{Dir: dir, Every: 1, Retain: 4}
+		n := 0
+		opt.Progress = func(IterStats) bool { n++; return n < stopAfter }
+		partial, err := Run(x, coo.New(x, 1), opt)
+		if err != nil {
+			t.Fatalf("stop@%d: %v", stopAfter, err)
+		}
+		if !partial.Stopped || partial.Iters != stopAfter {
+			t.Fatalf("stop@%d: iters=%d stopped=%v", stopAfter, partial.Iters, partial.Stopped)
+		}
+
+		mgr, err := ckpt.NewManager(dir, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, _, err := mgr.LoadLatest()
+		if err != nil {
+			t.Fatalf("stop@%d: %v", stopAfter, err)
+		}
+		if c.Iter != stopAfter {
+			t.Fatalf("stop@%d: latest checkpoint at iter %d", stopAfter, c.Iter)
+		}
+
+		opt2 := ckptOpts()
+		opt2.Checkpoint = &CheckpointConfig{Dir: dir, Every: 1, Retain: 4}
+		res, err := Resume(x, coo.New(x, 1), c, opt2)
+		if err != nil {
+			t.Fatalf("stop@%d: resume: %v", stopAfter, err)
+		}
+		if res.Iters != ref.Iters {
+			t.Fatalf("stop@%d: resumed to iter %d, want %d", stopAfter, res.Iters, ref.Iters)
+		}
+		if d := math.Abs(res.Fit - ref.Fit); d > 1e-12 {
+			t.Fatalf("stop@%d: fit differs by %g (resumed %v vs %v)", stopAfter, d, res.Fit, ref.Fit)
+		}
+		for m := range ref.Factors {
+			if d := res.Factors[m].MaxAbsDiff(ref.Factors[m]); d != 0 {
+				t.Errorf("stop@%d: factor %d differs by %g", stopAfter, m, d)
+			}
+		}
+		// The resumed fit trace must be the uninterrupted trajectory.
+		if len(res.FitTrace) != len(ref.FitTrace) {
+			t.Fatalf("stop@%d: trace length %d vs %d", stopAfter, len(res.FitTrace), len(ref.FitTrace))
+		}
+		for i := range ref.FitTrace {
+			if res.FitTrace[i] != ref.FitTrace[i] {
+				t.Errorf("stop@%d: trace[%d] %v vs %v", stopAfter, i, res.FitTrace[i], ref.FitTrace[i])
+			}
+		}
+		// Rolling retention: exactly Retain files remain after the full run.
+		iters, err := mgr.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(iters) != 4 {
+			t.Errorf("stop@%d: retention kept %d checkpoints (%v), want 4", stopAfter, len(iters), iters)
+		}
+	}
+}
+
+// TestCrashAtEveryFaultPointThenResume simulates a crash during the k-th
+// checkpoint write at each protocol point, then asserts that (a) every file
+// left on disk is a complete, loadable checkpoint, and (b) resuming reaches
+// the uninterrupted fit within 1e-12.
+func TestCrashAtEveryFaultPointThenResume(t *testing.T) {
+	x := ckptTensor()
+	ref, err := Run(x, coo.New(x, 1), ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const crashAt = 4 // writes 1..crashAt succeed; the next one "crashes"
+	cases := []struct {
+		fault      ckpt.Fault
+		latestIter int // newest loadable checkpoint after the crash
+	}{
+		{ckpt.Fault{Point: ckpt.FaultBeforeWrite, Skip: crashAt}, crashAt},
+		{ckpt.Fault{Point: ckpt.FaultMidWrite, AfterBytes: 96, Skip: crashAt}, crashAt},
+		// After the rename the new checkpoint is already committed.
+		{ckpt.Fault{Point: ckpt.FaultAfterRename, Skip: crashAt}, crashAt + 1},
+	}
+	for i := range cases {
+		tc := &cases[i]
+		t.Run(tc.fault.Point.String(), func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "ck")
+			opt := ckptOpts()
+			opt.Checkpoint = &CheckpointConfig{Dir: dir, Every: 1, Retain: 20, fault: &tc.fault}
+			res, err := Run(x, coo.New(x, 1), opt)
+			if !errors.Is(err, ckpt.ErrInjected) {
+				t.Fatalf("run survived the crash: res=%v err=%v", res, err)
+			}
+
+			// No torn state on disk: no temp files, and every checkpoint
+			// file parses and validates.
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if !strings.HasPrefix(e.Name(), "ckpt-") {
+					t.Fatalf("stray file after crash: %s", e.Name())
+				}
+				if _, err := ckpt.Load(filepath.Join(dir, e.Name())); err != nil {
+					t.Fatalf("torn checkpoint observable after crash: %v", err)
+				}
+			}
+
+			mgr, err := ckpt.NewManager(dir, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, _, err := mgr.LoadLatest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Iter != tc.latestIter {
+				t.Fatalf("latest checkpoint at iter %d, want %d", c.Iter, tc.latestIter)
+			}
+			res, err = Resume(x, coo.New(x, 1), c, ckptOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := math.Abs(res.Fit - ref.Fit); d > 1e-12 {
+				t.Fatalf("resumed fit differs by %g", d)
+			}
+		})
+	}
+}
+
+// TestCheckpointOnCancellation: a Ctx cancellation mid-sweep (the SIGTERM
+// path) must persist the last completed iteration even when the periodic
+// trigger hasn't fired for it.
+func TestCheckpointOnCancellation(t *testing.T) {
+	x := ckptTensor()
+	dir := filepath.Join(t.TempDir(), "ck")
+	opt := ckptOpts()
+	opt.Checkpoint = &CheckpointConfig{Dir: dir, Every: 5} // iter 7 is off-cadence
+	ctx, cancel := context.WithCancel(context.Background())
+	opt.Ctx = ctx
+	stopAfter := 7
+	n := 0
+	opt.Progress = func(IterStats) bool {
+		if n++; n >= stopAfter {
+			cancel()
+		}
+		return true
+	}
+	res, err := Run(x, coo.New(x, 1), opt)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if !res.Stopped {
+		t.Fatal("not marked stopped")
+	}
+	mgr, _ := ckpt.NewManager(dir, 0)
+	c, _, err := mgr.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Iter != res.Iters {
+		t.Fatalf("final checkpoint at iter %d, want last completed iter %d", c.Iter, res.Iters)
+	}
+}
+
+// TestResumeRejectsMismatchedFingerprint: a checkpoint from a different
+// tensor or different run parameters must be refused.
+func TestResumeRejectsMismatchedFingerprint(t *testing.T) {
+	x := ckptTensor()
+	dir := filepath.Join(t.TempDir(), "ck")
+	opt := ckptOpts()
+	opt.Checkpoint = &CheckpointConfig{Dir: dir, Every: 1}
+	n := 0
+	opt.Progress = func(IterStats) bool { n++; return n < 3 }
+	if _, err := Run(x, coo.New(x, 1), opt); err != nil {
+		t.Fatal(err)
+	}
+	mgr, _ := ckpt.NewManager(dir, 0)
+	c, _, err := mgr.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := ckptOpts()
+	bad.Rank = 6 // different rank
+	if _, err := Resume(x, coo.New(x, 1), c, bad); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("different rank accepted: %v", err)
+	}
+	y := x.Clone()
+	y.Vals[0] += 1 // different tensor
+	if _, err := Resume(y, coo.New(y, 1), c, ckptOpts()); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("different tensor accepted: %v", err)
+	}
+	ridge := ckptOpts()
+	ridge.Ridge = 0.5
+	if _, err := Resume(x, coo.New(x, 1), c, ridge); err == nil || !strings.Contains(err.Error(), "fingerprint") {
+		t.Errorf("different ridge accepted: %v", err)
+	}
+	// The matching configuration still resumes.
+	if _, err := Resume(x, coo.New(x, 1), c, ckptOpts()); err != nil {
+		t.Errorf("matching resume failed: %v", err)
+	}
+}
+
+// TestResumePastMaxIters: a checkpoint at or past MaxIters yields the
+// checkpointed state unchanged rather than extra iterations or an error.
+func TestResumePastMaxIters(t *testing.T) {
+	x := ckptTensor()
+	dir := filepath.Join(t.TempDir(), "ck")
+	opt := ckptOpts()
+	opt.Checkpoint = &CheckpointConfig{Dir: dir, Every: 1}
+	full, err := Run(x, coo.New(x, 1), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, _ := ckpt.NewManager(dir, 0)
+	c, _, err := mgr.LoadLatest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Resume(x, coo.New(x, 1), c, ckptOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iters != full.Iters || res.Fit != full.Fit {
+		t.Fatalf("resume past cap: iters=%d fit=%v, want iters=%d fit=%v", res.Iters, res.Fit, full.Iters, full.Fit)
+	}
+}
+
+// TestCheckpointWallClockTrigger: with only Interval set, the first
+// iteration past the interval writes (Interval=0 wall-clock means every
+// boundary is due).
+func TestCheckpointWallClockTrigger(t *testing.T) {
+	x := ckptTensor()
+	dir := filepath.Join(t.TempDir(), "ck")
+	opt := ckptOpts()
+	opt.MaxIters = 4
+	opt.Checkpoint = &CheckpointConfig{Dir: dir, Interval: 1} // 1ns: always due
+	if _, err := Run(x, coo.New(x, 1), opt); err != nil {
+		t.Fatal(err)
+	}
+	mgr, _ := ckpt.NewManager(dir, 0)
+	iters, err := mgr.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) == 0 || iters[len(iters)-1] != 4 {
+		t.Fatalf("wall-clock trigger wrote %v, want final iter 4 present", iters)
+	}
+}

@@ -74,6 +74,12 @@ type Options struct {
 	// is one pointer test; all audit work happens outside the iteration
 	// loop, so the steady state stays allocation-free.
 	Audit *audit.Recorder
+	// Checkpoint, when non-nil, makes the run durable: iteration-boundary
+	// state is written crash-atomically to Checkpoint.Dir on the configured
+	// cadence (and on every exit path), and Resume continues the run from
+	// the newest checkpoint with an identical trajectory. The disabled path
+	// is one pointer test per iteration.
+	Checkpoint *CheckpointConfig
 }
 
 // epsMU guards the multiplicative-update denominator against division by
@@ -103,6 +109,12 @@ type Result struct {
 
 // Run decomposes x at the configured rank using the given MTTKRP engine.
 func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
+	return run(x, eng, opt, nil)
+}
+
+// run is the ALS loop shared by Run (rs == nil) and Resume (rs carries the
+// checkpointed loop state; opt.Init holds the checkpointed factors).
+func run(x *tensor.COO, eng engine.Engine, opt Options, rs *resumeState) (*Result, error) {
 	n := x.Order()
 	if opt.Rank <= 0 {
 		return nil, errors.New("cpd: Rank must be positive")
@@ -143,6 +155,25 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 
 	lambda := make([]float64, r)
 	res := &Result{Factors: factors}
+	startIter := 1
+	prevFit := math.Inf(-1)
+	if rs != nil {
+		startIter = rs.startIter
+		prevFit = rs.prevFit
+		copy(lambda, rs.lambda)
+		res.Iters = startIter - 1
+		res.Fit = rs.prevFit
+		if opt.TrackFit {
+			res.FitTrace = append([]float64(nil), rs.fitTrace...)
+		}
+	}
+	cw, err := newCheckpointer(x, opt, sweep)
+	if err != nil {
+		return nil, err
+	}
+	if cw != nil {
+		cw.written = startIter - 1
+	}
 	if opt.CollectStats {
 		res.Stats = &RunStats{ModeMTTKRP: make([]PhaseStats, n)}
 	}
@@ -201,10 +232,9 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 	if clock != nil {
 		prevOps = eng.Stats().HadamardOps
 	}
-	prevFit := math.Inf(-1)
 	lastMode := sweep[n-1]
-	for iter := 1; iter <= maxIters; iter++ {
-		if res.Stats != nil && iter == 2 {
+	for iter := startIter; iter <= maxIters; iter++ {
+		if res.Stats != nil && iter == startIter+1 {
 			// Iteration 1 warms scratch buffers; steady state starts here.
 			runtime.ReadMemStats(&memBase)
 			memBased = true
@@ -216,6 +246,13 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 				case <-opt.Ctx.Done():
 					res.Stopped = true
 					finish()
+					// The snapshot from the last completed iteration is
+					// boundary-consistent even though this sweep is mid-
+					// flight; persist it so the cancellation (e.g. a
+					// SIGTERM routed through Ctx) loses no finished work.
+					if werr := cw.finalWrite(); werr != nil {
+						return res, errors.Join(opt.Ctx.Err(), werr)
+					}
 					return res, opt.Ctx.Err()
 				default:
 				}
@@ -282,6 +319,12 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 		res.Iters = iter
 		res.Fit = fit
 		clock.iteration(fit)
+		if cw != nil {
+			if cerr := cw.boundary(iter, fit, lambda, factors, res.FitTrace); cerr != nil {
+				finish()
+				return res, cerr
+			}
+		}
 		if math.Abs(fit-prevFit) < tol {
 			res.Converged = true
 			break
@@ -302,6 +345,9 @@ func Run(x *tensor.COO, eng engine.Engine, opt Options) (*Result, error) {
 		prevFit = fit
 	}
 	finish()
+	if werr := cw.finalWrite(); werr != nil {
+		return res, werr
+	}
 	return res, nil
 }
 

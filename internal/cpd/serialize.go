@@ -5,8 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 
+	"adatm/internal/ckpt"
 	"adatm/internal/dense"
 )
 
@@ -77,25 +79,42 @@ func ReadModel(r io.Reader) (lambda []float64, factors []*dense.Matrix, err erro
 		}
 		factors = append(factors, &dense.Matrix{Rows: fj.Rows, Cols: fj.Cols, Data: fj.Data})
 	}
+	if err := validateModelFinite(m.Lambda, factors); err != nil {
+		return nil, nil, err
+	}
 	return m.Lambda, factors, nil
 }
 
-// SaveModel writes a decomposition result to a file.
-func SaveModel(path string, res *Result) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+// validateModelFinite rejects NaN/Inf in a deserialized model with the
+// offending location named — the same policy ReadTNS applies to tensor
+// values, so a corrupt model or checkpoint cannot be silently loaded.
+// (encoding/json cannot produce non-finite numbers itself, but other
+// writers and binary corruption can; this is the schema's invariant, not
+// the decoder's.)
+func validateModelFinite(lambda []float64, factors []*dense.Matrix) error {
+	for i, v := range lambda {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("cpd: lambda[%d] is non-finite (%g)", i, v)
 		}
-	}()
-	w := bufio.NewWriter(f)
-	if err := WriteModel(w, res.Lambda, res.Factors); err != nil {
-		return err
 	}
-	return w.Flush()
+	for m, f := range factors {
+		for k, v := range f.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("cpd: factor %d entry (%d,%d) is non-finite (%g)", m, k/f.Cols, k%f.Cols, v)
+			}
+		}
+	}
+	return nil
+}
+
+// SaveModel writes a decomposition result to a file. The write is
+// crash-atomic (temp file + fsync + rename): a process killed mid-save
+// leaves the previous model file intact instead of a torn, half-encoded
+// one.
+func SaveModel(path string, res *Result) error {
+	return ckpt.WriteFileAtomic(path, func(w io.Writer) error {
+		return WriteModel(w, res.Lambda, res.Factors)
+	})
 }
 
 // LoadModel reads a decomposition previously written with SaveModel. Only

@@ -2,12 +2,16 @@ package cpd
 
 import (
 	"bytes"
+	"errors"
 	"math"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"adatm/internal/ckpt"
 	"adatm/internal/coo"
+	"adatm/internal/dense"
 	"adatm/internal/tensor"
 )
 
@@ -58,7 +62,86 @@ func TestReadModelRejectsMalformed(t *testing.T) {
 	}
 }
 
-func TestWriteModelValidates(t *testing.T) {
+// TestSaveModelCrashMidWriteKeepsOldFile kills the save mid-stream (an
+// injected short-writing sink) and asserts the previously saved model
+// survives intact — the regression pin for the non-atomic os.Create path.
+func TestSaveModelCrashMidWriteKeepsOldFile(t *testing.T) {
+	x := tensor.RandomClustered(3, 12, 300, 0.5, 901)
+	res, err := Run(x, coo.New(x, 1), Options{Rank: 4, MaxIters: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := SaveModel(path, res); err != nil {
+		t.Fatal(err)
+	}
+
+	res2, err := Run(x, coo.New(x, 1), Options{Rank: 4, MaxIters: 5, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore := ckpt.InjectFault(&ckpt.Fault{Point: ckpt.FaultMidWrite, AfterBytes: 64})
+	err = SaveModel(path, res2)
+	restore()
+	if !errors.Is(err, ckpt.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatalf("old model corrupted by crashed save: %v", err)
+	}
+	for m := range res.Factors {
+		if d := got.Factors[m].MaxAbsDiff(res.Factors[m]); d != 0 {
+			t.Fatalf("factor %d changed by %g after crashed save", m, d)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("crashed save left stray files: %v", ents)
+	}
+}
+
+// TestReadModelRejectsNonFinite: NaN/Inf in lambda or factor data must be
+// refused with the offending location named, matching ReadTNS's policy.
+func TestReadModelRejectsNonFinite(t *testing.T) {
+	// Valid JSON can't spell NaN/Inf, so the decoder catches textual forms.
+	for name, in := range map[string]string{
+		"nan literal":  `{"format":"adatm-cp/v1","order":1,"rank":2,"factors":[{"rows":2,"cols":2,"data":[1,2,NaN,4]}]}`,
+		"inf overflow": `{"format":"adatm-cp/v1","order":1,"rank":1,"lambda":[1e999],"factors":[{"rows":1,"cols":1,"data":[1]}]}`,
+	} {
+		if _, _, err := ReadModel(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Non-textual corruption (or a foreign writer) can still hand us
+	// non-finite float64s; the schema validation must name the location.
+	fin := func(v ...float64) []*dense.Matrix {
+		return []*dense.Matrix{{Rows: 2, Cols: 2, Data: []float64{1, 2, 3, 4}}, {Rows: 1, Cols: 2, Data: v}}
+	}
+	if err := validateModelFinite([]float64{1, math.NaN()}, fin(1, 2)); err == nil || !strings.Contains(err.Error(), "lambda[1]") {
+		t.Errorf("NaN lambda: %v", err)
+	}
+	if err := validateModelFinite([]float64{1, 2}, fin(1, math.Inf(-1))); err == nil ||
+		!strings.Contains(err.Error(), "factor 1") || !strings.Contains(err.Error(), "(0,1)") {
+		t.Errorf("Inf factor entry: %v", err)
+	}
+	if err := validateModelFinite([]float64{1, 2}, fin(1, 2)); err != nil {
+		t.Errorf("finite model rejected: %v", err)
+	}
+	// Baseline: a well-formed finite model still loads end to end.
+	lambda, factors, err := ReadModel(strings.NewReader(
+		`{"format":"adatm-cp/v1","order":1,"rank":1,"lambda":[1],"factors":[{"rows":1,"cols":1,"data":[1]}]}`))
+	if err != nil || len(lambda) != 1 || len(factors) != 1 {
+		t.Fatalf("baseline model rejected: %v", err)
+	}
+}
+
+func TestWriteModelRejectsEmpty(t *testing.T) {
 	var buf bytes.Buffer
 	if err := WriteModel(&buf, nil, nil); err == nil {
 		t.Error("empty factor list accepted")

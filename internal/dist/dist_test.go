@@ -231,3 +231,44 @@ func TestClusterEquivalenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestClusterRepartitionReusesCacheSafely pins the partials-cache key: the
+// cache must be invalidated when the process count changes, not only when
+// the rank does. Before the (P, rank) key, repartitioning a cluster in
+// place from P=2 to P=6 panicked indexing partials[p] past the old length
+// (and a shrink would have silently folded stale partials).
+func TestClusterRepartitionReusesCacheSafely(t *testing.T) {
+	x := tensor.RandomClustered(3, 15, 900, 0.6, 611)
+	rng := rand.New(rand.NewSource(612))
+	fs := make([]*dense.Matrix, 3)
+	for m := range fs {
+		fs[m] = dense.Random(x.Dims[m], 5, rng)
+	}
+	c := NewCluster(x, RandomPartition(x, 2, 1), cooFactory)
+	out := dense.New(x.Dims[0], 5)
+	if err := c.MTTKRP(0, fs, out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Repartition in place to more processes, warming the same cache.
+	for _, procs := range []int{6, 3} {
+		p := RandomPartition(x, procs, 1)
+		owners, stats := AnalyzeComm(x, p)
+		shards := Shards(x, p)
+		c.Part, c.Owners, c.Comm, c.shards = p, owners, stats, shards
+		c.Engines = make([]engine.Engine, procs)
+		for i, s := range shards {
+			c.Engines[i] = cooFactory(s)
+		}
+		for mode := 0; mode < 3; mode++ {
+			got := dense.New(x.Dims[mode], 5)
+			if err := c.MTTKRP(mode, fs, got); err != nil {
+				t.Fatalf("P=%d mode %d: %v", procs, mode, err)
+			}
+			want := ref.MTTKRPSparse(x, mode, fs)
+			if d := got.MaxAbsDiff(want); d > 1e-8 {
+				t.Errorf("P=%d mode %d: diff %g", procs, mode, d)
+			}
+		}
+	}
+}

@@ -51,7 +51,11 @@ func (c *Cluster) MTTKRP(mode int, factors []*dense.Matrix, out *dense.Matrix) e
 		return err
 	}
 	r := out.Cols
-	if c.partials == nil || c.partials[0].Cols != r {
+	// The partials cache is keyed on (P, rank): a cluster whose process
+	// count changed (repartitioning in place) must not reuse buffers sized
+	// for the old P — indexing partials[p] for p >= len(partials) panics,
+	// and a shrunken P would silently fold stale partials.
+	if c.partials == nil || len(c.partials) != c.Part.P || c.partials[0].Cols != r {
 		c.partials = make([]*dense.Matrix, c.Part.P)
 		for i := range c.partials {
 			c.partials[i] = dense.New(maxDim(c.X.Dims), r)

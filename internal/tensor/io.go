@@ -9,6 +9,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"adatm/internal/ckpt"
 )
 
 // The FROSTT ".tns" text format: one nonzero per line, N 1-based integer
@@ -109,26 +111,18 @@ func LoadFile(path string) (*COO, error) {
 	return ReadTNS(r)
 }
 
-// SaveFile writes a tensor to a .tns or .tns.gz file.
-func SaveFile(path string, t *COO) (err error) {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-	}()
-	var w io.Writer = f
-	if strings.HasSuffix(path, ".gz") {
-		gz := gzip.NewWriter(f)
-		defer func() {
-			if cerr := gz.Close(); err == nil {
-				err = cerr
+// SaveFile writes a tensor to a .tns or .tns.gz file. The write is
+// crash-atomic (temp file + fsync + rename): a process killed mid-save
+// leaves any previous file at path intact instead of a truncated one.
+func SaveFile(path string, t *COO) error {
+	return ckpt.WriteFileAtomic(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".gz") {
+			gz := gzip.NewWriter(w)
+			if err := WriteTNS(gz, t); err != nil {
+				return err
 			}
-		}()
-		w = gz
-	}
-	return WriteTNS(w, t)
+			return gz.Close()
+		}
+		return WriteTNS(w, t)
+	})
 }

@@ -2,9 +2,13 @@ package tensor
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"adatm/internal/ckpt"
 )
 
 func TestTNSRoundTrip(t *testing.T) {
@@ -105,5 +109,41 @@ func TestSaveLoadFile(t *testing.T) {
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.tns")); err == nil {
 		t.Fatal("LoadFile of missing file succeeded")
+	}
+}
+
+// TestSaveFileCrashMidWriteKeepsOldFile injects a short-writing sink into
+// the atomic writer and asserts a save "killed" mid-stream leaves the
+// previously saved tensor intact and no temp files behind.
+func TestSaveFileCrashMidWriteKeepsOldFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.tns")
+	x := smallTensor()
+	x.Sort(nil)
+	if err := SaveFile(path, x); err != nil {
+		t.Fatal(err)
+	}
+
+	y := RandomClustered(3, 9, 400, 0.5, 77)
+	restore := ckpt.InjectFault(&ckpt.Fault{Point: ckpt.FaultMidWrite, AfterBytes: 32})
+	err := SaveFile(path, y)
+	restore()
+	if !errors.Is(err, ckpt.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("old tensor corrupted by crashed save: %v", err)
+	}
+	if got.NNZ() != x.NNZ() || got.Order() != x.Order() {
+		t.Fatalf("old tensor changed: %d nnz order %d", got.NNZ(), got.Order())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("crashed save left stray files: %v", ents)
 	}
 }

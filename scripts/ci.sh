@@ -24,3 +24,4 @@ GOMAXPROCS=4 go test -race -count=1 -run 'TestConformanceAccum' ./internal/engin
 
 make bench-smoke
 make obs-smoke
+make ckpt-smoke

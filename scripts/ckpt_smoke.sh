@@ -1,0 +1,95 @@
+#!/bin/sh
+# Checkpoint/resume smoke test: run cpd with per-iteration crash-safe
+# checkpoints, SIGKILL it mid-run, resume from the newest checkpoint, and
+# assert the resumed run reaches the uninterrupted run's fit to 1e-12 with
+# the adatm_ckpt_* metrics on /metrics and rolling retention honored.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/tensorgen" ./cmd/tensorgen
+go build -o "$tmp/cpd" ./cmd/cpd
+
+"$tmp/tensorgen" -dims 80x60x40x20 -nnz 250000 -skew 0.5,0.5,0.5,0.2 -seed 11 -out "$tmp/smoke.tns"
+
+# Single worker keeps the floating-point reduction order identical across
+# runs, so the resumed trajectory is directly comparable to the reference.
+run_flags="-rank 8 -iters 40 -tol 1e-300 -seed 4 -workers 1 -engine coo"
+
+# Reference: the uninterrupted run.
+"$tmp/cpd" -in "$tmp/smoke.tns" $run_flags -json >"$tmp/ref.json" 2>/dev/null
+
+# Checkpointed run, killed hard (SIGKILL: no cleanup handler runs) once a
+# few checkpoints exist.
+"$tmp/cpd" -in "$tmp/smoke.tns" $run_flags \
+    -checkpoint "$tmp/ck" -ckpt-every 1 -ckpt-retain 3 \
+    >/dev/null 2>"$tmp/run.err" &
+pid=$!
+for _ in $(seq 1 600); do
+    n=$(ls "$tmp/ck" 2>/dev/null | grep -c '^ckpt-' || true)
+    [ "$n" -ge 3 ] && break
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.02
+done
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pid=""
+
+n=$(ls "$tmp/ck" | grep -c '^ckpt-' || true)
+[ "$n" -ge 1 ] || { echo "ckpt-smoke: no checkpoint written before the kill"; cat "$tmp/run.err"; exit 1; }
+[ "$n" -le 3 ] || { echo "ckpt-smoke: retention exceeded: $n files"; ls "$tmp/ck"; exit 1; }
+ls "$tmp/ck" | grep -v '^ckpt-' && { echo "ckpt-smoke: stray (torn?) file in checkpoint dir"; ls "$tmp/ck"; exit 1; }
+resumed_from=$(ls "$tmp/ck" | tail -n1)
+
+# Resume from the newest checkpoint, holding the debug server up so the
+# adatm_ckpt_* series can be scraped after the run completes.
+"$tmp/cpd" -in "$tmp/smoke.tns" $run_flags \
+    -checkpoint "$tmp/ck" -ckpt-every 1 -ckpt-retain 3 -resume \
+    -listen 127.0.0.1:0 -hold -json >"$tmp/resume.json" 2>"$tmp/resume.err" &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*debug server listening on http://##p' "$tmp/resume.err" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "ckpt-smoke: resume exited early"; cat "$tmp/resume.err"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "ckpt-smoke: debug server never announced its address"; cat "$tmp/resume.err"; exit 1; }
+for _ in $(seq 1 600); do
+    grep -q "holding debug server" "$tmp/resume.err" && break
+    kill -0 "$pid" 2>/dev/null || { echo "ckpt-smoke: resume exited before holding"; cat "$tmp/resume.err"; exit 1; }
+    sleep 0.1
+done
+
+curl -fsS "http://$addr/metrics" >"$tmp/metrics"
+for series in adatm_ckpt_writes_total adatm_ckpt_bytes_total \
+    adatm_ckpt_write_seconds adatm_ckpt_last_iter; do
+    grep -q "$series" "$tmp/metrics" || { echo "ckpt-smoke: /metrics missing $series"; cat "$tmp/metrics"; exit 1; }
+done
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# The resumed run must complete all iterations and land on the reference fit.
+fit() { sed -n 's/^ *"fit": *\([^,]*\),*$/\1/p' "$1" | head -n1; }
+iters() { sed -n 's/^ *"iters": *\([^,]*\),*$/\1/p' "$1" | head -n1; }
+ref_fit=$(fit "$tmp/ref.json"); res_fit=$(fit "$tmp/resume.json")
+[ -n "$ref_fit" ] && [ -n "$res_fit" ] || { echo "ckpt-smoke: missing fit in reports"; exit 1; }
+[ "$(iters "$tmp/ref.json")" = "$(iters "$tmp/resume.json")" ] \
+    || { echo "ckpt-smoke: iteration counts differ"; exit 1; }
+awk -v a="$ref_fit" -v b="$res_fit" 'BEGIN { d = a - b; if (d < 0) d = -d; exit !(d <= 1e-12) }' \
+    || { echo "ckpt-smoke: resumed fit $res_fit != reference $ref_fit"; exit 1; }
+
+# Rolling retention after the completed resume: exactly 3 checkpoints.
+n=$(ls "$tmp/ck" | grep -c '^ckpt-' || true)
+[ "$n" -eq 3 ] || { echo "ckpt-smoke: retention kept $n checkpoints, want 3"; ls "$tmp/ck"; exit 1; }
+
+echo "ckpt-smoke: OK (SIGKILL survived; resumed from $resumed_from to fit $res_fit = reference)"
