@@ -8,6 +8,8 @@
 //	adabench -exp E3,E7      # run a subset
 //	adabench -markdown       # emit markdown tables (for EXPERIMENTS.md)
 //	adabench -rank 32        # override the default rank
+//	adabench -suite          # run the perf-trajectory suite (result JSON to stdout)
+//	adabench -baseline F     # run the suite and gate it against baseline F
 package main
 
 import (
@@ -20,12 +22,20 @@ import (
 	"time"
 
 	"adatm"
+	"adatm/internal/audit"
 	"adatm/internal/exp"
 	"adatm/internal/obs"
 	"adatm/internal/par"
+	"adatm/internal/perf"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole CLI so deferred profile/trace/server teardown fires
+// before the process exits with a meaningful code.
+func run() int {
 	var (
 		quick     = flag.Bool("quick", false, "run on ~8x smaller datasets")
 		expList   = flag.String("exp", "", "comma-separated experiment ids (default: all); known: "+strings.Join(exp.IDs(), ","))
@@ -41,6 +51,9 @@ func main() {
 		seed      = flag.Int64("seed", 0, "dataset seed offset")
 		accumStr  = flag.String("accum", "auto", "MTTKRP output accumulation: auto (model decides per mode), scatter, privatize")
 		auditFile = flag.String("auditfile", "", "write the model-audit decision ledger (JSONL) from model experiments (E7) to this file")
+		suiteMode = flag.Bool("suite", false, "run the perf-trajectory benchmark suite instead of the experiments; result JSON to stdout")
+		baseline  = flag.String("baseline", "", "run the perf suite and gate it against this baseline result file (implies -suite; exit 1 on regression)")
+		samples   = flag.Int("samples", 5, "measured samples per perf-suite scenario (with -suite/-baseline)")
 	)
 	flag.Parse()
 	if *traceOut != "" {
@@ -54,11 +67,11 @@ func main() {
 		f, err := os.Create(*pprofOut)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "adabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -69,11 +82,11 @@ func main() {
 		f, err := os.Create(*rtTrace)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := trace.Start(f); err != nil {
 			fmt.Fprintln(os.Stderr, "adabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer func() {
 			trace.Stop()
@@ -101,30 +114,35 @@ func main() {
 		}()
 	}
 	var srv *obs.Server
+	var reg *obs.Registry
 	if *listen != "" {
-		reg := adatm.NewMetrics()
+		reg = adatm.NewMetrics()
 		obs.RegisterRuntimeMetrics(reg)
 		var err error
 		srv, err = obs.Serve(*listen, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
 	}
 
+	if *suiteMode || *baseline != "" {
+		return runPerfSuite(*baseline, *samples, *quick, *workers, *auditFile, tracer, reg, srv)
+	}
+
 	accumStrat, err := adatm.ParseAccumStrategy(*accumStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "adabench:", err)
-		os.Exit(2)
+		return 2
 	}
 	cfg := exp.Config{Quick: *quick, Workers: *workers, Rank: *rank, Seed: *seed, Accum: accumStrat}
 	if *auditFile != "" {
 		f, err := os.Create(*auditFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "adabench:", err)
-			os.Exit(1)
+			return 1
 		}
 		defer f.Close()
 		cfg.AuditW = f
@@ -136,7 +154,7 @@ func main() {
 			r := exp.Find(strings.TrimSpace(id))
 			if r == nil {
 				fmt.Fprintf(os.Stderr, "adabench: unknown experiment %q (known: %s)\n", id, strings.Join(exp.IDs(), ", "))
-				os.Exit(2)
+				return 2
 			}
 			runners = append(runners, *r)
 		}
@@ -156,7 +174,7 @@ func main() {
 		case *jsonOut:
 			if err := table.JSON(os.Stdout); err != nil {
 				fmt.Fprintln(os.Stderr, "adabench:", err)
-				os.Exit(1)
+				return 1
 			}
 		case *markdown:
 			table.Markdown(os.Stdout)
@@ -165,4 +183,58 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", r.ID, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// runPerfSuite executes the perf-trajectory scenario registry (-suite),
+// optionally gating it against a committed baseline (-baseline). The suite
+// reuses the experiment CLI's observability wiring: spans into -tracefile,
+// adatm_perf_* gauges and /timeseries onto -listen, and perf.suite events
+// into -auditfile.
+func runPerfSuite(baseline string, samples int, quick bool, workers int, auditFile string, tracer *obs.Tracer, reg *obs.Registry, srv *obs.Server) int {
+	pcfg := perf.RunnerConfig{
+		Samples: samples, Quick: quick, Workers: workers,
+		Tracer: tracer, Metrics: reg, Log: os.Stderr,
+	}
+	if auditFile != "" {
+		f, err := os.Create(auditFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adabench:", err)
+			return 1
+		}
+		defer f.Close()
+		pcfg.Audit = audit.NewRecorder(audit.Config{Ledger: f})
+	}
+	if srv != nil {
+		sampler := obs.NewSampler(0, 0)
+		sampler.Start()
+		defer sampler.Stop()
+		srv.SetSampler(sampler)
+		pcfg.Sampler = sampler
+	}
+	res, err := perf.RunSuite(perf.Scenarios(), pcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adabench:", err)
+		return 1
+	}
+	if baseline == "" {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "adabench:", err)
+			return 1
+		}
+		return 0
+	}
+	base, err := perf.LoadFile(baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "adabench:", err)
+		return 1
+	}
+	cmp := perf.Compare(base, res, perf.DefaultThresholds())
+	cmp.WriteTable(os.Stdout)
+	if err := cmp.Gate(); err != nil {
+		fmt.Fprintln(os.Stderr, "adabench:", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "adabench: perf gate passed")
+	return 0
 }

@@ -47,6 +47,7 @@ type obsState struct {
 	tracer    *adatm.Tracer
 	metrics   *adatm.Metrics
 	server    *adatm.DebugServer
+	sampler   *obs.Sampler
 	audit     *adatm.AuditRecorder
 	auditFile *os.File
 	logFile   *os.File
@@ -102,6 +103,11 @@ func setupObs(cfg obsConfig) (*obsState, error) {
 		}
 		o.server = srv
 		o.metrics.PublishExpvar("adatm")
+		// Background resource sampler behind /timeseries: heap, GC pauses,
+		// and goroutine count over the run's lifetime.
+		o.sampler = obs.NewSampler(0, 0)
+		o.sampler.Start()
+		srv.SetSampler(o.sampler)
 		fmt.Fprintf(os.Stderr, "debug server listening on http://%s\n", srv.Addr())
 	}
 	if cfg.wantAudit() {
@@ -222,6 +228,8 @@ func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
 			signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 			<-ch
 		}
+		// Stop after -hold so /timeseries keeps sampling while held.
+		o.sampler.Stop()
 		o.server.Close()
 	}
 	o.closeFiles()

@@ -1,0 +1,204 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adatm/internal/audit"
+	"adatm/internal/perf"
+)
+
+// tinyArgs keeps suite runs in tests to one small scenario, one sample.
+func tinyArgs(extra ...string) []string {
+	base := []string{"-quick", "-samples", "1", "-warmup", "1", "-workers", "1",
+		"-scenarios", "mttkrp/short3/coo/scatter"}
+	return append(base, extra...)
+}
+
+func TestUsageAndList(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code := run([]string{"bogus"}, &out, &errb); code != 2 {
+		t.Errorf("unknown subcommand: exit %d, want 2", code)
+	}
+	out.Reset()
+	if code := run([]string{"list"}, &out, &errb); code != 0 {
+		t.Fatalf("list: exit %d", code)
+	}
+	listed := strings.Fields(out.String())
+	if len(listed) != len(perf.Names()) {
+		t.Errorf("list printed %d names, registry has %d", len(listed), len(perf.Names()))
+	}
+	if !strings.Contains(out.String(), "mttkrp/short3/coo/scatter") {
+		t.Errorf("list output missing known scenario:\n%s", out.String())
+	}
+}
+
+func TestRunWritesResultFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errb bytes.Buffer
+	args := append([]string{"run", "-out", path}, tinyArgs()...)
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("run: exit %d\nstderr: %s", code, errb.String())
+	}
+	res, err := perf.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scenarios) != 1 || res.Scenarios[0].Name != "mttkrp/short3/coo/scatter" {
+		t.Errorf("result scenarios: %+v", res.Scenarios)
+	}
+	if len(res.Timeline) == 0 {
+		t.Error("result has no resource timeline")
+	}
+}
+
+func TestRunStdoutAndUnknownScenario(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"run"}, tinyArgs()...), &out, &errb); code != 0 {
+		t.Fatalf("run to stdout: exit %d\nstderr: %s", code, errb.String())
+	}
+	var res perf.SuiteResult
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("stdout is not a result JSON: %v", err)
+	}
+	if res.Format != perf.FormatVersion {
+		t.Errorf("format = %q", res.Format)
+	}
+
+	errb.Reset()
+	code := run([]string{"run", "-scenarios", "no/such"}, &out, &errb)
+	if code != 1 || !strings.Contains(errb.String(), "unknown scenario") {
+		t.Errorf("unknown scenario: exit %d, stderr %q", code, errb.String())
+	}
+}
+
+func TestGateSelfPasses(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := append([]string{"gate", "-self"}, tinyArgs()...)
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("gate -self: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "gate passed") {
+		t.Errorf("missing pass confirmation: %s", errb.String())
+	}
+}
+
+func TestGateAgainstBaselineBothWays(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	args := tinyArgs("-samples", "6")
+	// The quick-mode unit runs in under a millisecond, where scheduler noise
+	// (other test binaries sharing the box) can exceed the default 5% floor;
+	// a 200% floor keeps the clean side deterministic while the injected
+	// 250ms delay is a >1000% signal — soundness is still proven in both
+	// directions.
+	floor := []string{"-min-delta", "200"}
+
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"run", "-out", baseline}, args...), &out, &errb); code != 0 {
+		t.Fatalf("baseline run: exit %d\nstderr: %s", code, errb.String())
+	}
+
+	// Clean working tree: fresh run against the baseline passes.
+	out.Reset()
+	errb.Reset()
+	clean := append([]string{"gate", "-baseline", baseline}, floor...)
+	if code := run(append(clean, args...), &out, &errb); code != 0 {
+		t.Fatalf("clean gate: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+
+	// Injected slowdown: the gate fails, names the scenario, and logs a
+	// perf.regression event to the ledger. 250ms per sample dwarfs the unit
+	// even under the race detector's ~50x slowdown, keeping the delta far
+	// above the floor.
+	ledger := filepath.Join(dir, "ledger.jsonl")
+	restore := perf.InjectSampleDelay("mttkrp/short3/coo/scatter", 250*time.Millisecond)
+	defer restore()
+	out.Reset()
+	errb.Reset()
+	slowed := append([]string{"gate", "-baseline", baseline, "-auditfile", ledger}, floor...)
+	code := run(append(slowed, args...), &out, &errb)
+	if code != 1 {
+		t.Fatalf("slowed gate: exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "mttkrp/short3/coo/scatter") {
+		t.Errorf("gate failure does not name the scenario: %s", errb.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("table missing REGRESSION verdict:\n%s", out.String())
+	}
+
+	f, err := os.Open(ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var rec struct {
+			Event *audit.Event `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad ledger line %q: %v", sc.Text(), err)
+		}
+		if rec.Event != nil {
+			kinds[rec.Event.Kind]++
+		}
+	}
+	if kinds["perf.suite"] != 1 || kinds["perf.regression"] != 1 {
+		t.Errorf("ledger event kinds = %v, want one perf.suite and one perf.regression", kinds)
+	}
+}
+
+func TestGateMissingScenarioFails(t *testing.T) {
+	dir := t.TempDir()
+	baseline := filepath.Join(dir, "baseline.json")
+	current := filepath.Join(dir, "current.json")
+
+	var out, errb bytes.Buffer
+	two := tinyArgs()
+	two[len(two)-1] = "mttkrp/short3/coo/scatter,mttkrp/short3/coo/privatize"
+	if code := run(append([]string{"run", "-out", baseline}, two...), &out, &errb); code != 0 {
+		t.Fatalf("baseline run: exit %d\nstderr: %s", code, errb.String())
+	}
+	if code := run(append([]string{"run", "-out", current}, tinyArgs()...), &out, &errb); code != 0 {
+		t.Fatalf("current run: exit %d\nstderr: %s", code, errb.String())
+	}
+	errb.Reset()
+	code := run([]string{"gate", "-baseline", baseline, "-current", current}, &out, &errb)
+	if code != 1 || !strings.Contains(errb.String(), "missing from current") {
+		t.Errorf("dropped scenario gate: exit %d, stderr %s", code, errb.String())
+	}
+}
+
+func TestCompareFiles(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	var out, errb bytes.Buffer
+	if code := run(append([]string{"run", "-out", a}, tinyArgs()...), &out, &errb); code != 0 {
+		t.Fatalf("run: exit %d\nstderr: %s", code, errb.String())
+	}
+	out.Reset()
+	if code := run([]string{"compare", "-baseline", a, "-current", a}, &out, &errb); code != 0 {
+		t.Fatalf("compare: exit %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "mttkrp/short3/coo/scatter") {
+		t.Errorf("compare table missing scenario:\n%s", out.String())
+	}
+	if code := run([]string{"compare", "-baseline", a}, &out, &errb); code != 2 {
+		t.Errorf("compare without -current: exit %d, want 2", code)
+	}
+	if code := run([]string{"gate"}, &out, &errb); code != 2 {
+		t.Errorf("gate without -self/-baseline: exit %d, want 2", code)
+	}
+}

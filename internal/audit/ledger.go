@@ -18,19 +18,23 @@ type Record struct {
 }
 
 // Event is a run-lifecycle entry in the ledger outside the model-selection
-// flow: currently checkpoint resumes, which explain why a run's measured
-// iteration counts start mid-trajectory.
+// flow: checkpoint resumes (which explain why a run's measured iteration
+// counts start mid-trajectory) and perf-suite runs/regression verdicts
+// (which anchor the performance trajectory to the decision history).
 type Event struct {
-	// Kind identifies the event ("resume").
+	// Kind identifies the event ("resume", "perf.suite", "perf.regression").
 	Kind string `json:"kind"`
 	// Iter is the ALS iteration the event refers to (for a resume: the
 	// checkpointed iteration the run continues from).
 	Iter int `json:"iter,omitempty"`
-	// Path is the checkpoint file involved, when known.
+	// Path is the file involved (checkpoint or bench result), when known.
 	Path string `json:"path,omitempty"`
 	// Fingerprint is the tensor+plan fingerprint the checkpoint was
 	// validated against.
 	Fingerprint string `json:"fingerprint,omitempty"`
+	// Detail carries kind-specific context: for perf.suite the scenario and
+	// sample counts, for perf.regression the offending scenario and delta.
+	Detail string `json:"detail,omitempty"`
 }
 
 // String renders the record for human consumption: the decision summary

@@ -101,7 +101,8 @@ func (r *Recorder) RecordEvent(ev Event) {
 		lg.Info("run."+ev.Kind,
 			slog.Int("iter", ev.Iter),
 			slog.String("path", ev.Path),
-			slog.String("fingerprint", ev.Fingerprint))
+			slog.String("fingerprint", ev.Fingerprint),
+			slog.String("detail", ev.Detail))
 	}
 	if err := r.ledger.Append(Record{Event: &ev}); err != nil && r.cfg.Logger != nil {
 		r.cfg.Logger.Error("model.ledger_append", slog.String("error", err.Error()))

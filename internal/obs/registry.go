@@ -115,6 +115,32 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveN records n observations of the same value v in O(1): one bucket
+// add instead of n. Used by bulk importers (e.g. folding a runtime/metrics
+// histogram delta) where per-observation Observe calls would be wasteful.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if h == nil || n <= 0 {
+		return
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		h.rejected.Add(n)
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.buckets[i].Add(n)
+	} else {
+		h.inf.Add(n)
+	}
+	h.count.Add(n)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v*float64(n))) {
+			return
+		}
+	}
+}
+
 // Count returns the number of accepted observations.
 func (h *Histogram) Count() int64 {
 	if h == nil {
@@ -179,7 +205,8 @@ type series struct {
 	c        *Counter
 	g        *Gauge
 	h        *Histogram
-	fn       func() float64 // callback counters/gauges
+	fn       func() float64   // callback counters/gauges
+	sync     func(*Histogram) // refreshed-at-exposition histograms
 }
 
 // family groups the series sharing one metric name.
@@ -351,6 +378,31 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 	return s.h
 }
 
+// SyncedHistogram registers a histogram whose contents are refreshed by sync
+// immediately before every exposition (WriteTo and Snapshot). This is the
+// bridge for sources that are themselves cumulative histograms — e.g. the
+// runtime/metrics GC-pause distribution — where there is no per-event
+// callback to Observe from: sync reads the source, folds the delta since its
+// last call into the histogram (ObserveN), and returns.
+//
+// sync runs while the registry lock is held, possibly concurrently from
+// racing scrapes: it must synchronize its own delta state, must not block,
+// and must not register metrics on this registry. Re-registering an existing
+// series keeps the first sync hook.
+func (r *Registry) SyncedHistogram(name, help string, labels Labels, bounds []float64, sync func(*Histogram)) *Histogram {
+	h := r.Histogram(name, help, labels, bounds)
+	if h == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.families[name].series[renderLabels(labels)]
+	if s.sync == nil {
+		s.sync = sync
+	}
+	return h
+}
+
 // equalBounds reports whether two bound slices are element-wise identical.
 // Bounds are immutable after series creation, so this is safe outside the
 // registry lock.
@@ -427,6 +479,9 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			s := f.series[k]
 			switch {
 			case f.kind == kindHistogram:
+				if s.sync != nil {
+					s.sync(s.h)
+				}
 				writeHistogram(&b, f.name, s)
 			case s.fn != nil:
 				fmt.Fprintf(&b, "%s%s %s\n", f.name, s.labelStr, formatValue(s.fn()))
@@ -481,6 +536,9 @@ func (r *Registry) Snapshot() map[string]float64 {
 		for _, s := range f.series {
 			switch {
 			case f.kind == kindHistogram:
+				if s.sync != nil {
+					s.sync(s.h)
+				}
 				out[f.name+"_sum"+s.labelStr] = s.h.Sum()
 				out[f.name+"_count"+s.labelStr] = float64(s.h.Count())
 			case s.fn != nil:

@@ -1,8 +1,11 @@
 package obs
 
 import (
+	"math"
 	"runtime"
 	"runtime/debug"
+	"runtime/metrics"
+	"sync"
 )
 
 // RegisterRuntimeMetrics exports process-level Go runtime gauges into reg:
@@ -37,6 +40,74 @@ func RegisterRuntimeMetrics(reg *Registry) {
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	reg.GaugeFunc("adatm_go_maxprocs", "GOMAXPROCS at scrape time.", nil,
 		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+	registerGCPauseHistogram(reg)
+}
+
+// gcPauseMetric is the runtime/metrics name of the stop-the-world GC pause
+// distribution.
+const gcPauseMetric = "/gc/pauses:seconds"
+
+// gcPauseBuckets returns the bounds of adatm_gc_pause_seconds: powers of two
+// from 100 ns to ~105 ms. GC pauses sit well below the MTTKRP latency range,
+// so LatencyBuckets (1 µs floor) would collapse the interesting sub-µs tail.
+func gcPauseBuckets() []float64 {
+	out := make([]float64, 21)
+	b := 1e-7
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+// registerGCPauseHistogram exports the runtime's GC pause distribution as
+// the adatm_gc_pause_seconds histogram. runtime/metrics only exposes a
+// cumulative histogram (no per-pause callback), so this is a synced
+// histogram: at every exposition the delta since the previous scrape is
+// folded in, each source bucket represented by its midpoint. The fold state
+// is guarded by its own mutex because racing scrapes may run the sync hook
+// concurrently.
+func registerGCPauseHistogram(reg *Registry) {
+	samples := []metrics.Sample{{Name: gcPauseMetric}}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return // metric absent on this runtime; skip rather than export garbage
+	}
+	var mu sync.Mutex
+	prev := append([]uint64(nil), samples[0].Value.Float64Histogram().Counts...)
+	reg.SyncedHistogram("adatm_gc_pause_seconds",
+		"Stop-the-world GC pause latency (folded from runtime/metrics "+gcPauseMetric+" at scrape time).",
+		nil, gcPauseBuckets(), func(h *Histogram) {
+			mu.Lock()
+			defer mu.Unlock()
+			metrics.Read(samples)
+			src := samples[0].Value.Float64Histogram()
+			for i, c := range src.Counts {
+				var p uint64
+				if i < len(prev) {
+					p = prev[i]
+				}
+				if c > p {
+					h.ObserveN(bucketMidpoint(src.Buckets, i), int64(c-p))
+				}
+			}
+			prev = append(prev[:0], src.Counts...)
+		})
+}
+
+// bucketMidpoint picks the representative value of source bucket i
+// [Buckets[i], Buckets[i+1]): the arithmetic midpoint, degrading to the
+// finite edge when the other is infinite.
+func bucketMidpoint(bounds []float64, i int) float64 {
+	lo, hi := bounds[i], bounds[i+1]
+	switch {
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
 }
 
 // buildInfoLabels reads the binary's identity from the embedded build info:

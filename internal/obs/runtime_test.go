@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestGCPauseHistogramExposition checks the adatm_gc_pause_seconds satellite
+// end to end: forced GC cycles must surface as observations in the exposed
+// histogram, in valid Prometheus text format (TYPE line, le-labelled
+// cumulative buckets, +Inf bucket equal to _count).
+func TestGCPauseHistogramExposition(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+
+	// Forced GC cycles record pauses in /gc/pauses:seconds. Several cycles
+	// so the count is comfortably nonzero.
+	for i := 0; i < 3; i++ {
+		runtime.GC()
+	}
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	text := b.String()
+
+	if !strings.Contains(text, "# TYPE adatm_gc_pause_seconds histogram") {
+		t.Fatalf("exposition missing histogram TYPE line:\n%s", text)
+	}
+	if !strings.Contains(text, `adatm_gc_pause_seconds_bucket{le="+Inf"}`) {
+		t.Fatalf("exposition missing +Inf bucket:\n%s", text)
+	}
+
+	count := extractValue(t, text, `adatm_gc_pause_seconds_count (\S+)`)
+	if count < 1 {
+		t.Fatalf("adatm_gc_pause_seconds_count = %v, want >= 1 after forced GC", count)
+	}
+	inf := extractValue(t, text, `adatm_gc_pause_seconds_bucket\{le="\+Inf"\} (\S+)`)
+	if inf != count {
+		t.Fatalf("+Inf bucket %v != _count %v (Prometheus invariant)", inf, count)
+	}
+	sum := extractValue(t, text, `adatm_gc_pause_seconds_sum (\S+)`)
+	if sum <= 0 {
+		t.Fatalf("adatm_gc_pause_seconds_sum = %v, want > 0", sum)
+	}
+
+	// Buckets must be cumulative (monotone non-decreasing in le order).
+	re := regexp.MustCompile(`adatm_gc_pause_seconds_bucket\{le="[^"]+"\} (\d+)`)
+	prev := int64(-1)
+	for _, m := range re.FindAllStringSubmatch(text, -1) {
+		v, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket value %q: %v", m[1], err)
+		}
+		if v < prev {
+			t.Fatalf("bucket counts not cumulative: %d after %d\n%s", v, prev, text)
+		}
+		prev = v
+	}
+
+	// A second scrape must not double-count the already-folded pauses: the
+	// count may only grow by pauses that happened in between.
+	runtime.GC()
+	var b2 strings.Builder
+	if _, err := reg.WriteTo(&b2); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	count2 := extractValue(t, b2.String(), `adatm_gc_pause_seconds_count (\S+)`)
+	if count2 < count {
+		t.Fatalf("second scrape count %v < first %v (delta fold went backwards)", count2, count)
+	}
+}
+
+// extractValue pulls the first capture group of pattern out of the
+// exposition text as a float.
+func extractValue(t *testing.T, text, pattern string) float64 {
+	t.Helper()
+	m := regexp.MustCompile(pattern).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("exposition missing %q:\n%s", pattern, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", m[1], err)
+	}
+	return v
+}
+
+// TestGCPauseBucketsSubMicrosecond pins the design choice that the GC-pause
+// bounds reach below 1 µs: real pauses on modern Go are frequently sub-µs,
+// and LatencyBuckets' 1 µs floor would fold the whole distribution into the
+// first bucket.
+func TestGCPauseBucketsSubMicrosecond(t *testing.T) {
+	b := gcPauseBuckets()
+	if b[0] >= 1e-6 {
+		t.Fatalf("first GC-pause bound %g, want < 1e-6", b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %g <= %g", i, b[i], b[i-1])
+		}
+	}
+	if top := b[len(b)-1]; top < 0.05 {
+		t.Fatalf("top GC-pause bound %g, want >= 50ms to catch pathological pauses", top)
+	}
+}
+
+// TestBucketMidpoint covers the infinite-edge degradation used when folding
+// runtime/metrics buckets.
+func TestBucketMidpoint(t *testing.T) {
+	bounds := []float64{math.Inf(-1), 1e-6, 2e-6, math.Inf(1)}
+	if got := bucketMidpoint(bounds, 0); got != 1e-6 {
+		t.Fatalf("(-Inf,1e-6) midpoint = %g, want 1e-6", got)
+	}
+	if got := bucketMidpoint(bounds, 1); got != 1.5e-6 {
+		t.Fatalf("(1e-6,2e-6) midpoint = %g, want 1.5e-6", got)
+	}
+	if got := bucketMidpoint(bounds, 2); got != 2e-6 {
+		t.Fatalf("(2e-6,+Inf) midpoint = %g, want 2e-6", got)
+	}
+}

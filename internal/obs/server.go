@@ -13,15 +13,17 @@ import (
 
 // Server is the live debug endpoint: /metrics (Prometheus text format),
 // /healthz, /run (JSON snapshot of the in-flight run), /plan (the latest
-// model-audit decision+report), /debug/pprof/* and /debug/vars. It binds
-// immediately (addr ":0" picks a free port — read the resolved one back
-// from Addr) and serves until Close.
+// model-audit decision+report), /timeseries (the attached Sampler's resource
+// timeline), /debug/pprof/* and /debug/vars. It binds immediately (addr ":0"
+// picks a free port — read the resolved one back from Addr) and serves until
+// Close.
 type Server struct {
-	ln   net.Listener
-	srv  *http.Server
-	reg  *Registry
-	run  atomic.Value // latest SetRun payload (any JSON-marshalable value)
-	plan atomic.Value // latest SetPlan payload (any JSON-marshalable value)
+	ln      net.Listener
+	srv     *http.Server
+	reg     *Registry
+	run     atomic.Value            // latest SetRun payload (any JSON-marshalable value)
+	plan    atomic.Value            // latest SetPlan payload (any JSON-marshalable value)
+	sampler atomic.Pointer[Sampler] // resource timeline behind /timeseries
 }
 
 // Serve binds addr and starts serving the debug endpoints in a background
@@ -37,6 +39,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/timeseries", s.handleTimeseries)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -95,6 +98,29 @@ func (s *Server) handleRun(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handlePlan(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.plan.Load())
+}
+
+// SetSampler attaches (or, with nil, detaches) the resource-timeline sampler
+// served at /timeseries. The caller owns the sampler's lifecycle (Start/
+// Stop); the server only reads snapshots.
+func (s *Server) SetSampler(sp *Sampler) { s.sampler.Store(sp) }
+
+// timeseriesPayload is the /timeseries response envelope.
+type timeseriesPayload struct {
+	IntervalNS int64            `json:"interval_ns"`
+	Samples    []ResourceSample `json:"samples"`
+}
+
+func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
+	sp := s.sampler.Load()
+	payload := timeseriesPayload{
+		IntervalNS: int64(sp.Interval()),
+		Samples:    sp.Snapshot(),
+	}
+	if payload.Samples == nil {
+		payload.Samples = []ResourceSample{}
+	}
+	writeJSON(w, payload)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

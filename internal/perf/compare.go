@@ -1,0 +1,166 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Thresholds configures when a measured difference counts as a regression.
+// Both conditions must hold: statistically significant (Mann–Whitney p below
+// Alpha) AND practically large (median delta beyond MinDeltaPct). The size
+// floor exists because with enough samples even a 0.3% drift is
+// "significant", and gating on noise-level deltas teaches people to ignore
+// the gate.
+type Thresholds struct {
+	// Alpha is the significance level (default 0.05).
+	Alpha float64
+	// MinDeltaPct is the minimum median slowdown, in percent, that can fail
+	// the gate (default 5).
+	MinDeltaPct float64
+}
+
+// DefaultThresholds returns the standard gate configuration.
+func DefaultThresholds() Thresholds { return Thresholds{Alpha: 0.05, MinDeltaPct: 5} }
+
+func (t Thresholds) alpha() float64 {
+	if t.Alpha <= 0 {
+		return 0.05
+	}
+	return t.Alpha
+}
+
+func (t Thresholds) minDelta() float64 {
+	if t.MinDeltaPct <= 0 {
+		return 5
+	}
+	return t.MinDeltaPct
+}
+
+// Delta is the per-scenario comparison of current against baseline.
+type Delta struct {
+	Scenario         string  `json:"scenario"`
+	BaselineMedianNS float64 `json:"baseline_median_ns"`
+	CurrentMedianNS  float64 `json:"current_median_ns"`
+	// DeltaPct is the median change in percent: positive = current slower.
+	DeltaPct float64 `json:"delta_pct"`
+	// P is the two-sided Mann–Whitney p-value over the raw sample sets.
+	P float64 `json:"p"`
+	// Significant reports p < alpha.
+	Significant bool `json:"significant"`
+	// Regression: significant AND slower beyond the size floor.
+	Regression bool `json:"regression"`
+	// Improvement: significant AND faster beyond the size floor (reported,
+	// never gated on — a real improvement should refresh the baseline).
+	Improvement bool `json:"improvement"`
+}
+
+// Comparison is the full verdict of Compare.
+type Comparison struct {
+	Thresholds Thresholds `json:"thresholds"`
+	// EnvComparable is false when the two results carry fingerprints of
+	// different hardware/width — deltas are then explanatory, not gateable.
+	EnvComparable bool    `json:"env_comparable"`
+	Deltas        []Delta `json:"deltas"`
+	// OnlyBaseline / OnlyCurrent list scenarios present on one side only
+	// (a renamed or removed scenario silently resets its trajectory; the
+	// gate surfaces that instead of ignoring it).
+	OnlyBaseline []string `json:"only_baseline,omitempty"`
+	OnlyCurrent  []string `json:"only_current,omitempty"`
+}
+
+// Compare joins baseline and current by scenario name and computes the
+// per-scenario deltas, significance, and regression verdicts.
+func Compare(baseline, current *SuiteResult, th Thresholds) *Comparison {
+	c := &Comparison{Thresholds: th, EnvComparable: baseline.Env.Comparable(current.Env)}
+	for _, cur := range current.Scenarios {
+		base := baseline.Scenario(cur.Name)
+		if base == nil {
+			c.OnlyCurrent = append(c.OnlyCurrent, cur.Name)
+			continue
+		}
+		d := Delta{
+			Scenario:         cur.Name,
+			BaselineMedianNS: base.Summary.MedianNS,
+			CurrentMedianNS:  cur.Summary.MedianNS,
+		}
+		if d.BaselineMedianNS > 0 {
+			d.DeltaPct = (d.CurrentMedianNS - d.BaselineMedianNS) / d.BaselineMedianNS * 100
+		}
+		_, d.P = MannWhitneyU(base.nsSamples(), cur.nsSamples())
+		d.Significant = d.P < th.alpha()
+		d.Regression = d.Significant && d.DeltaPct > th.minDelta()
+		d.Improvement = d.Significant && d.DeltaPct < -th.minDelta()
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, base := range baseline.Scenarios {
+		if current.Scenario(base.Name) == nil {
+			c.OnlyBaseline = append(c.OnlyBaseline, base.Name)
+		}
+	}
+	sort.Slice(c.Deltas, func(a, b int) bool { return c.Deltas[a].Scenario < c.Deltas[b].Scenario })
+	sort.Strings(c.OnlyBaseline)
+	sort.Strings(c.OnlyCurrent)
+	return c
+}
+
+// Regressions returns the scenarios that fail the gate, worst first.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].DeltaPct > out[b].DeltaPct })
+	return out
+}
+
+// Gate returns nil when no scenario regressed, or an error naming every
+// regressed scenario with its delta and p-value. Scenarios missing from the
+// current run also fail the gate: silently dropping a scenario must not look
+// like a pass.
+func (c *Comparison) Gate() error {
+	regs := c.Regressions()
+	if len(regs) == 0 && len(c.OnlyBaseline) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	b.WriteString("perf gate failed:")
+	for _, d := range regs {
+		fmt.Fprintf(&b, "\n  %s: +%.1f%% (%.0f ns -> %.0f ns median, p=%.4g)",
+			d.Scenario, d.DeltaPct, d.BaselineMedianNS, d.CurrentMedianNS, d.P)
+	}
+	for _, name := range c.OnlyBaseline {
+		fmt.Fprintf(&b, "\n  %s: present in baseline but missing from current run", name)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// WriteTable renders the comparison as an aligned human-readable table.
+func (c *Comparison) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "%-40s %14s %14s %8s %9s  %s\n", "scenario", "base median", "cur median", "delta", "p", "verdict")
+	for _, d := range c.Deltas {
+		verdict := "~"
+		switch {
+		case d.Regression:
+			verdict = "REGRESSION"
+		case d.Improvement:
+			verdict = "improvement"
+		case d.Significant:
+			verdict = "significant (below size floor)"
+		}
+		fmt.Fprintf(w, "%-40s %12.0fns %12.0fns %+7.1f%% %9.4f  %s\n",
+			d.Scenario, d.BaselineMedianNS, d.CurrentMedianNS, d.DeltaPct, d.P, verdict)
+	}
+	for _, name := range c.OnlyCurrent {
+		fmt.Fprintf(w, "%-40s %14s\n", name, "(new: no baseline)")
+	}
+	for _, name := range c.OnlyBaseline {
+		fmt.Fprintf(w, "%-40s %14s\n", name, "(MISSING from current)")
+	}
+	if !c.EnvComparable {
+		fmt.Fprintln(w, "warning: environment fingerprints differ (hardware or GOMAXPROCS changed); deltas are explanatory, not comparable")
+	}
+}

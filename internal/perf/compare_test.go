@@ -1,0 +1,143 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+)
+
+// mkResult builds a SuiteResult from scenario name -> ns sample vectors.
+func mkResult(scenarios map[string][]int64) *SuiteResult {
+	r := &SuiteResult{Format: FormatVersion, Env: Fingerprint(), Samples: 1}
+	for name, ns := range scenarios {
+		sc := ScenarioResult{Name: name}
+		for _, v := range ns {
+			sc.Samples = append(sc.Samples, Sample{NS: v})
+		}
+		sc.Summary = Summarize(sc.nsSamples())
+		r.Scenarios = append(r.Scenarios, sc)
+	}
+	return r
+}
+
+func TestCompareSelfPasses(t *testing.T) {
+	base := mkResult(map[string][]int64{
+		"a": {100, 110, 105, 98, 102},
+		"b": {2000, 2100, 1950, 2050, 2020},
+	})
+	c := Compare(base, base, DefaultThresholds())
+	if err := c.Gate(); err != nil {
+		t.Fatalf("self-compare gate failed: %v", err)
+	}
+	for _, d := range c.Deltas {
+		if d.Regression || d.Significant {
+			t.Errorf("self-compare delta flagged: %+v", d)
+		}
+		if d.DeltaPct != 0 {
+			t.Errorf("self-compare delta pct = %v, want 0", d.DeltaPct)
+		}
+	}
+	if !c.EnvComparable {
+		t.Error("same-process envs reported as not comparable")
+	}
+}
+
+func TestCompareDetectsRegression(t *testing.T) {
+	base := mkResult(map[string][]int64{
+		"hot":  {100, 101, 99, 102, 100, 98, 103, 100},
+		"cold": {500, 505, 498, 502, 501, 499, 503, 500},
+	})
+	cur := mkResult(map[string][]int64{
+		"hot":  {200, 202, 198, 205, 201, 197, 203, 199}, // 2x slower
+		"cold": {500, 506, 497, 503, 500, 498, 504, 501}, // unchanged
+	})
+	c := Compare(base, cur, DefaultThresholds())
+	regs := c.Regressions()
+	if len(regs) != 1 || regs[0].Scenario != "hot" {
+		t.Fatalf("Regressions() = %+v, want exactly [hot]", regs)
+	}
+	err := c.Gate()
+	if err == nil {
+		t.Fatal("gate passed despite 2x regression")
+	}
+	if !strings.Contains(err.Error(), "hot") {
+		t.Errorf("gate error does not name the scenario: %v", err)
+	}
+	if strings.Contains(err.Error(), "cold") {
+		t.Errorf("gate error names the unchanged scenario: %v", err)
+	}
+}
+
+func TestCompareImprovementDoesNotGate(t *testing.T) {
+	base := mkResult(map[string][]int64{"a": {200, 202, 198, 205, 201, 197, 203, 199}})
+	cur := mkResult(map[string][]int64{"a": {100, 101, 99, 102, 100, 98, 103, 100}})
+	c := Compare(base, cur, DefaultThresholds())
+	if err := c.Gate(); err != nil {
+		t.Fatalf("gate failed on improvement: %v", err)
+	}
+	if len(c.Deltas) != 1 || !c.Deltas[0].Improvement {
+		t.Errorf("improvement not reported: %+v", c.Deltas)
+	}
+}
+
+// TestCompareSizeFloor: a significant but tiny slowdown stays below the
+// MinDeltaPct floor and must not gate.
+func TestCompareSizeFloor(t *testing.T) {
+	base := mkResult(map[string][]int64{"a": {1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007}})
+	cur := mkResult(map[string][]int64{"a": {1010, 1011, 1012, 1013, 1014, 1015, 1016, 1017}}) // +1%
+	c := Compare(base, cur, DefaultThresholds())
+	if len(c.Deltas) != 1 {
+		t.Fatalf("deltas = %+v", c.Deltas)
+	}
+	d := c.Deltas[0]
+	if !d.Significant {
+		t.Fatalf("disjoint samples not significant: %+v", d)
+	}
+	if d.Regression {
+		t.Errorf("1%% delta gated despite 5%% floor: %+v", d)
+	}
+	if err := c.Gate(); err != nil {
+		t.Errorf("gate failed below size floor: %v", err)
+	}
+}
+
+func TestCompareMissingScenarioFailsGate(t *testing.T) {
+	base := mkResult(map[string][]int64{"a": {100}, "dropped": {100}})
+	cur := mkResult(map[string][]int64{"a": {100}, "added": {100}})
+	c := Compare(base, cur, DefaultThresholds())
+	if got := c.OnlyBaseline; len(got) != 1 || got[0] != "dropped" {
+		t.Errorf("OnlyBaseline = %v", got)
+	}
+	if got := c.OnlyCurrent; len(got) != 1 || got[0] != "added" {
+		t.Errorf("OnlyCurrent = %v", got)
+	}
+	err := c.Gate()
+	if err == nil || !strings.Contains(err.Error(), "dropped") {
+		t.Errorf("gate did not fail on dropped scenario: %v", err)
+	}
+}
+
+func TestCompareEnvMismatchFlagged(t *testing.T) {
+	base := mkResult(map[string][]int64{"a": {100}})
+	cur := mkResult(map[string][]int64{"a": {100}})
+	cur.Env.MaxProcs = base.Env.MaxProcs + 1
+	c := Compare(base, cur, DefaultThresholds())
+	if c.EnvComparable {
+		t.Error("differing GOMAXPROCS reported comparable")
+	}
+	var b strings.Builder
+	c.WriteTable(&b)
+	if !strings.Contains(b.String(), "warning") {
+		t.Errorf("table missing env warning:\n%s", b.String())
+	}
+}
+
+func TestThresholdDefaults(t *testing.T) {
+	var z Thresholds
+	if z.alpha() != 0.05 || z.minDelta() != 5 {
+		t.Errorf("zero-value thresholds = alpha %v, minDelta %v", z.alpha(), z.minDelta())
+	}
+	custom := Thresholds{Alpha: 0.01, MinDeltaPct: 20}
+	if custom.alpha() != 0.01 || custom.minDelta() != 20 {
+		t.Errorf("custom thresholds not honored")
+	}
+}

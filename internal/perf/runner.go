@@ -1,0 +1,299 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"adatm"
+	"adatm/internal/audit"
+	"adatm/internal/dense"
+	"adatm/internal/obs"
+	"adatm/internal/tensor"
+)
+
+// RunnerConfig parameterizes one suite run. Every observability sink is
+// optional and nil-safe.
+type RunnerConfig struct {
+	// Samples is the number of measured samples per scenario (default 5).
+	Samples int
+	// Warmup is the number of unmeasured warmup units per scenario
+	// (default 1): symbolic preprocessing, allocator growth, and cache
+	// warming happen there instead of polluting sample 0.
+	Warmup int
+	// Quick scales every scenario down (~8x fewer nonzeros, rank 8).
+	Quick bool
+	// Workers is the engines' parallel width (<= 0: GOMAXPROCS).
+	Workers int
+	// Tracer receives one span per warmup/sample unit (perf/<scenario>).
+	Tracer *obs.Tracer
+	// Metrics receives the adatm_perf_* series while the suite runs.
+	Metrics *obs.Registry
+	// Audit receives a perf.suite ledger event when the suite completes.
+	Audit *audit.Recorder
+	// Sampler supplies the resource timeline embedded in the result. Nil
+	// starts a private sampler for the duration of the run, so bench
+	// records always carry their timeline.
+	Sampler *obs.Sampler
+	// Log, when non-nil, receives one progress line per scenario.
+	Log io.Writer
+}
+
+func (c RunnerConfig) samples() int {
+	if c.Samples <= 0 {
+		return 5
+	}
+	return c.Samples
+}
+
+func (c RunnerConfig) warmup() int {
+	if c.Warmup < 0 {
+		return 0
+	}
+	if c.Warmup == 0 {
+		return 1
+	}
+	return c.Warmup
+}
+
+// injectedDelays is the test-only fault hook: a per-scenario artificial
+// slowdown added to every sample, used to prove the regression gate fails
+// when (and only when) a scenario actually got slower. Production code never
+// writes it.
+var (
+	injectMu       sync.Mutex
+	injectedDelays map[string]time.Duration
+)
+
+// InjectSampleDelay arms an artificial per-sample delay for the named
+// scenario (test hook). The returned function restores the previous state.
+func InjectSampleDelay(scenario string, d time.Duration) (restore func()) {
+	injectMu.Lock()
+	defer injectMu.Unlock()
+	if injectedDelays == nil {
+		injectedDelays = make(map[string]time.Duration)
+	}
+	old, had := injectedDelays[scenario]
+	injectedDelays[scenario] = d
+	return func() {
+		injectMu.Lock()
+		defer injectMu.Unlock()
+		if had {
+			injectedDelays[scenario] = old
+		} else {
+			delete(injectedDelays, scenario)
+		}
+	}
+}
+
+func injectedDelay(scenario string) time.Duration {
+	injectMu.Lock()
+	defer injectMu.Unlock()
+	return injectedDelays[scenario]
+}
+
+// runnable is one scenario prepared for repeated sampling.
+type runnable struct {
+	sc      Scenario
+	x       *tensor.COO
+	eng     adatm.Engine // KindMTTKRP only; KindFit rebuilds per sample
+	factors []*dense.Matrix
+	out     *dense.Matrix
+	workers int
+	samples []Sample
+}
+
+// prepare generates the tensor and builds the measurement fixture.
+func prepare(sc Scenario, cfg RunnerConfig) (*runnable, error) {
+	sc = sc.scaled(cfg.Quick)
+	r := &runnable{sc: sc, workers: cfg.Workers}
+	r.x = tensor.Generate(sc.Spec)
+	if sc.Kind == KindMTTKRP {
+		eng, err := adatm.NewEngine(r.x, sc.Engine, adatm.EngineConfig{
+			Rank: sc.Rank, Workers: cfg.Workers, Accum: sc.Accum,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("perf: %s: %w", sc.Name, err)
+		}
+		r.eng = eng
+		rng := rand.New(rand.NewSource(sc.Spec.Seed + 1))
+		r.factors = make([]*dense.Matrix, r.x.Order())
+		maxDim := 0
+		for m := range r.factors {
+			r.factors[m] = dense.Random(r.x.Dims[m], sc.Rank, rng)
+			if r.x.Dims[m] > maxDim {
+				maxDim = r.x.Dims[m]
+			}
+		}
+		r.out = dense.New(maxDim, sc.Rank)
+	}
+	return r, nil
+}
+
+// unit executes one scenario unit (unmeasured warmup or the body of a
+// measured sample).
+func (r *runnable) unit() error {
+	switch r.sc.Kind {
+	case KindMTTKRP:
+		for mode := 0; mode < r.x.Order(); mode++ {
+			mm := &dense.Matrix{Rows: r.x.Dims[mode], Cols: r.sc.Rank, Data: r.out.Data[:r.x.Dims[mode]*r.sc.Rank]}
+			if err := r.eng.MTTKRP(mode, r.factors, mm); err != nil {
+				return fmt.Errorf("perf: %s: %w", r.sc.Name, err)
+			}
+			r.eng.FactorUpdated(mode)
+		}
+		return nil
+	case KindFit:
+		_, err := adatm.Decompose(r.x, adatm.Options{
+			Rank: r.sc.Rank, MaxIters: r.sc.Iters, Tol: 1e-12,
+			Seed: r.sc.Spec.Seed + 2, Workers: r.workers,
+			Engine: r.sc.Engine, Accum: r.sc.Accum,
+		})
+		if err != nil {
+			return fmt.Errorf("perf: %s: %w", r.sc.Name, err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("perf: %s: unknown kind %d", r.sc.Name, r.sc.Kind)
+	}
+}
+
+// engineOps reads the cumulative engine work counters (zero for KindFit,
+// whose engine is internal to Decompose).
+func (r *runnable) engineOps() (ops, calls int64) {
+	if r.eng == nil {
+		return 0, 0
+	}
+	st := r.eng.Stats()
+	return st.HadamardOps, st.MTTKRPCalls
+}
+
+// sample runs one measured unit.
+func (r *runnable) sample() (Sample, error) {
+	var before, after runtime.MemStats
+	ops0, calls0 := r.engineOps()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if err := r.unit(); err != nil {
+		return Sample{}, err
+	}
+	if d := injectedDelay(r.sc.Name); d > 0 {
+		time.Sleep(d)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	ops1, calls1 := r.engineOps()
+	return Sample{
+		StartUnixNano: start.UnixNano(),
+		NS:            elapsed.Nanoseconds(),
+		Allocs:        int64(after.Mallocs - before.Mallocs),
+		Bytes:         int64(after.TotalAlloc - before.TotalAlloc),
+		HadamardOps:   ops1 - ops0,
+		MTTKRPCalls:   calls1 - calls0,
+	}, nil
+}
+
+// RunSuite executes the scenarios under the repeated-sample protocol: every
+// scenario is prepared and warmed, then samples are taken *interleaved*
+// (sample i of every scenario before sample i+1 of any) so slow environment
+// drift — thermal throttling, a background daemon waking up — spreads across
+// all sample sets instead of biasing whichever scenario ran last. Returns
+// the versioned suite result with the resource timeline embedded.
+func RunSuite(scenarios []Scenario, cfg RunnerConfig) (*SuiteResult, error) {
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("perf: no scenarios to run")
+	}
+	reg := cfg.Metrics
+	running := reg.Gauge("adatm_perf_suite_running", "1 while a perf suite is executing.", nil)
+	running.Set(1)
+	defer running.Set(0)
+	reg.Gauge("adatm_perf_scenarios", "Scenario count of the executing perf suite.", nil).
+		Set(float64(len(scenarios)))
+
+	suiteStart := time.Now()
+	sampler := cfg.Sampler
+	private := sampler == nil
+	if private {
+		sampler = obs.NewSampler(50*time.Millisecond, 8192)
+		sampler.Start()
+		defer sampler.Stop()
+	}
+
+	runs := make([]*runnable, len(scenarios))
+	for i, sc := range scenarios {
+		r, err := prepare(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		runs[i] = r
+	}
+
+	// Warmup phase (unmeasured, traced for post-hoc timeline reading).
+	warm := cfg.warmup()
+	for _, r := range runs {
+		for w := 0; w < warm; w++ {
+			sp := cfg.Tracer.StartSpan("perf/warmup/"+r.sc.Name, 0)
+			err := r.unit()
+			sp.End()
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Interleaved sampling.
+	n := cfg.samples()
+	for i := 0; i < n; i++ {
+		for _, r := range runs {
+			sp := cfg.Tracer.StartSpan("perf/"+r.sc.Name, 0)
+			s, err := r.sample()
+			sp.End()
+			if err != nil {
+				return nil, err
+			}
+			r.samples = append(r.samples, s)
+			l := obs.Labels{"scenario": r.sc.Name}
+			reg.Gauge("adatm_perf_sample_seconds",
+				"Wall seconds of the most recent sample of each perf scenario.", l).
+				Set(float64(s.NS) / 1e9)
+			reg.Counter("adatm_perf_samples_total",
+				"Measured perf samples taken, by scenario.", l).Inc()
+		}
+	}
+
+	res := &SuiteResult{
+		Format:  FormatVersion,
+		UnixSec: suiteStart.Unix(),
+		Env:     Fingerprint(),
+		Samples: n,
+		Warmup:  warm,
+		Quick:   cfg.Quick,
+	}
+	for _, r := range runs {
+		sc := ScenarioResult{Name: r.sc.Name, Samples: r.samples}
+		sc.Summary = Summarize(sc.nsSamples())
+		res.Scenarios = append(res.Scenarios, sc)
+		reg.Gauge("adatm_perf_median_seconds",
+			"Median sample wall seconds of each perf scenario in the last suite run.",
+			obs.Labels{"scenario": r.sc.Name}).Set(sc.Summary.MedianNS / 1e9)
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "perf: %-40s median %12.0f ns  mad %10.0f ns  (%d samples)\n",
+				r.sc.Name, sc.Summary.MedianNS, sc.Summary.MADNS, sc.Summary.N)
+		}
+	}
+	if private {
+		// Stop records the final sample before we read the timeline (Stop is
+		// idempotent, so the deferred call is a no-op).
+		sampler.Stop()
+	}
+	res.Timeline = sampler.Since(suiteStart.UnixNano())
+
+	cfg.Audit.RecordEvent(audit.Event{
+		Kind:   "perf.suite",
+		Detail: fmt.Sprintf("%d scenarios × %d samples (warmup %d, quick=%v) in %s", len(scenarios), n, warm, cfg.Quick, time.Since(suiteStart).Round(time.Millisecond)),
+	})
+	return res, nil
+}

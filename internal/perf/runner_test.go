@@ -1,0 +1,286 @@
+package perf
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adatm"
+	"adatm/internal/audit"
+	"adatm/internal/obs"
+	"adatm/internal/tensor"
+)
+
+// tinyScenarios keeps runner tests fast: a few thousand nonzeros per unit.
+func tinyScenarios() []Scenario {
+	spec := tensor.GenSpec{Name: "tiny3", Dims: []int{64, 48, 32}, NNZ: 2000, Seed: 901}
+	return []Scenario{
+		{Name: "mttkrp/tiny3/coo/scatter", Kind: KindMTTKRP, Spec: spec, Engine: adatm.EngineCOO, Accum: adatm.AccumScatter, Rank: 4},
+		{Name: "fit/tiny3/coo/scatter", Kind: KindFit, Spec: spec, Engine: adatm.EngineCOO, Accum: adatm.AccumScatter, Rank: 4, Iters: 2},
+	}
+}
+
+func TestRunSuiteProducesValidResult(t *testing.T) {
+	res, err := RunSuite(tinyScenarios(), RunnerConfig{Samples: 3, Warmup: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(); err != nil {
+		t.Fatalf("result fails validation: %v", err)
+	}
+	if res.Samples != 3 || res.Warmup != 1 {
+		t.Errorf("recorded samples/warmup = %d/%d", res.Samples, res.Warmup)
+	}
+	if res.Env.GoVersion == "" || res.Env.CPUs <= 0 {
+		t.Errorf("fingerprint incomplete: %+v", res.Env)
+	}
+	mt := res.Scenario("mttkrp/tiny3/coo/scatter")
+	if mt == nil || len(mt.Samples) != 3 {
+		t.Fatalf("mttkrp scenario result = %+v", mt)
+	}
+	for i, s := range mt.Samples {
+		if s.NS <= 0 || s.StartUnixNano == 0 {
+			t.Errorf("sample %d missing timing: %+v", i, s)
+		}
+		// One sweep of an order-3 tensor = 3 MTTKRP calls with real work.
+		if s.MTTKRPCalls != 3 || s.HadamardOps <= 0 {
+			t.Errorf("sample %d engine counters: calls=%d ops=%d", i, s.MTTKRPCalls, s.HadamardOps)
+		}
+	}
+	if mt.Summary.N != 3 || mt.Summary.MedianNS <= 0 {
+		t.Errorf("summary = %+v", mt.Summary)
+	}
+	if res.Scenario("fit/tiny3/coo/scatter") == nil {
+		t.Error("fit scenario missing from result")
+	}
+	// The private sampler records at least start and stop samples.
+	if len(res.Timeline) < 2 {
+		t.Errorf("timeline has %d samples, want >= 2", len(res.Timeline))
+	}
+}
+
+func TestRunSuiteSinks(t *testing.T) {
+	reg := obs.NewRegistry()
+	var ledger bytes.Buffer
+	rec := audit.NewRecorder(audit.Config{Ledger: &ledger})
+	var log bytes.Buffer
+	tr := obs.NewTracer(1024)
+
+	if _, err := RunSuite(tinyScenarios()[:1], RunnerConfig{
+		Samples: 2, Workers: 1, Metrics: reg, Audit: rec, Tracer: tr, Log: &log,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// One span per warmup unit plus one per sample.
+	if tr.Len() < 3 {
+		t.Errorf("tracer recorded %d spans, want >= 3", tr.Len())
+	}
+
+	var expo bytes.Buffer
+	if _, err := reg.WriteTo(&expo); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"adatm_perf_suite_running 0",
+		"adatm_perf_scenarios 1",
+		`adatm_perf_sample_seconds{scenario="mttkrp/tiny3/coo/scatter"}`,
+		`adatm_perf_samples_total{scenario="mttkrp/tiny3/coo/scatter"} 2`,
+		`adatm_perf_median_seconds{scenario="mttkrp/tiny3/coo/scatter"}`,
+	} {
+		if !strings.Contains(expo.String(), want) {
+			t.Errorf("exposition missing %q:\n%s", want, expo.String())
+		}
+	}
+
+	// The ledger got one perf.suite event.
+	found := false
+	sc := bufio.NewScanner(&ledger)
+	for sc.Scan() {
+		var rec struct {
+			Event *audit.Event `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad ledger line: %v", err)
+		}
+		if rec.Event != nil && rec.Event.Kind == "perf.suite" {
+			found = true
+			if !strings.Contains(rec.Event.Detail, "1 scenarios") {
+				t.Errorf("perf.suite detail = %q", rec.Event.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Error("ledger has no perf.suite event")
+	}
+	if !strings.Contains(log.String(), "mttkrp/tiny3/coo/scatter") {
+		t.Errorf("progress log missing scenario line:\n%s", log.String())
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	res, err := RunSuite(tinyScenarios()[:1], RunnerConfig{Samples: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Format != FormatVersion {
+		t.Errorf("format = %q", back.Format)
+	}
+	a, _ := json.Marshal(res)
+	b, _ := json.Marshal(back)
+	if !bytes.Equal(a, b) {
+		t.Errorf("round trip changed the result:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestWriteFileRejectsInvalid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteFile(path, &SuiteResult{Format: "bogus"}); err == nil {
+		t.Fatal("WriteFile accepted an invalid result")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("invalid result still created %s", path)
+	}
+}
+
+func TestLoadFileRejectsCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("LoadFile accepted corrupt JSON")
+	}
+	if err := os.WriteFile(path, []byte(`{"format":"adatm-bench/v0","scenarios":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("LoadFile accepted a wrong format version")
+	}
+}
+
+// TestGateSoundBothWays is the acceptance check for the regression gate:
+// a same-commit self-comparison passes, and the same comparison with an
+// injected slowdown in one scenario fails naming exactly that scenario.
+func TestGateSoundBothWays(t *testing.T) {
+	scs := tinyScenarios()[:1]
+	name := scs[0].Name
+	cfg := RunnerConfig{Samples: 6, Warmup: 1, Workers: 1}
+	// The tiny unit runs in ~100µs, where scheduler noise on a busy CI box
+	// can exceed the default 5% floor; a 200% floor keeps the clean side
+	// deterministic while the injected slowdown below is a >100x signal.
+	th := Thresholds{Alpha: 0.05, MinDeltaPct: 200}
+
+	baseline, err := RunSuite(scs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := RunSuite(scs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Compare(baseline, clean, th).Gate(); err != nil {
+		t.Fatalf("same-commit gate failed (false positive): %v", err)
+	}
+
+	// Inject a delay that dwarfs the unit time (sub-ms for 2000 nnz, still
+	// low single-digit ms under the race detector), rerun, and the gate must
+	// fail naming the scenario.
+	restore := InjectSampleDelay(name, 100*time.Millisecond)
+	slow, err := RunSuite(scs, cfg)
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gerr := Compare(baseline, slow, th).Gate()
+	if gerr == nil {
+		t.Fatal("gate passed despite injected 20ms slowdown")
+	}
+	if !strings.Contains(gerr.Error(), name) {
+		t.Errorf("gate error does not name the slowed scenario: %v", gerr)
+	}
+
+	// The restore function disarmed the hook. (Not re-measured: the sleeps
+	// above let the CPU downclock, so an immediate re-run times slow for
+	// reasons outside the hook's control.)
+	if d := injectedDelay(name); d != 0 {
+		t.Errorf("injected delay still armed after restore: %v", d)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != len(registry) {
+		t.Fatalf("Names() has %d entries, registry %d", len(names), len(registry))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate scenario name %q", n)
+		}
+		seen[n] = true
+		if _, err := Find(n); err != nil {
+			t.Errorf("Find(%q): %v", n, err)
+		}
+	}
+	if _, err := Find("no/such/scenario"); err == nil {
+		t.Error("Find accepted an unknown name")
+	}
+	if _, err := Select([]string{"no/such/scenario"}); err == nil {
+		t.Error("Select accepted an unknown name")
+	}
+	all, err := Select(nil)
+	if err != nil || len(all) != len(registry) {
+		t.Errorf("Select(nil) = %d scenarios, err %v", len(all), err)
+	}
+}
+
+// TestRegistryScenariosConstruct verifies every registered scenario can build
+// its engine fixture in quick mode — a registry typo (bad engine/accum combo)
+// should fail here, not in CI's first real suite run.
+func TestRegistryScenariosConstruct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("constructs every registry engine; skipped in -short")
+	}
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			r, err := prepare(sc, RunnerConfig{Quick: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sc.Kind == KindMTTKRP {
+				if err := r.unit(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestScaledQuick(t *testing.T) {
+	sc := registry[0]
+	q := sc.scaled(true)
+	if q.Spec.NNZ != sc.Spec.NNZ/8 {
+		t.Errorf("quick NNZ = %d, want %d", q.Spec.NNZ, sc.Spec.NNZ/8)
+	}
+	if q.Rank != 8 {
+		t.Errorf("quick rank = %d, want 8", q.Rank)
+	}
+	if full := sc.scaled(false); full.Spec.NNZ != sc.Spec.NNZ {
+		t.Error("non-quick scaling changed the spec")
+	}
+}

@@ -1,0 +1,139 @@
+package perf
+
+import (
+	"fmt"
+	"sort"
+
+	"adatm"
+	"adatm/internal/tensor"
+)
+
+// Kind distinguishes what one sample of a scenario measures.
+type Kind int
+
+const (
+	// KindMTTKRP samples one full MTTKRP sweep (every mode once, with the
+	// ALS invalidation protocol) — the hot path the kernel and accumulation
+	// PRs tuned.
+	KindMTTKRP Kind = iota
+	// KindFit samples one fixed-iteration end-to-end CP-ALS fit: engine
+	// build, factor init, and the full solver loop. Catches regressions in
+	// everything MTTKRP sweeps don't cover (gram, solve, normalize, fit).
+	KindFit
+)
+
+// String names the kind for scenario names and reports.
+func (k Kind) String() string {
+	if k == KindFit {
+		return "fit"
+	}
+	return "mttkrp"
+}
+
+// Scenario is one named, seeded benchmark configuration: a synthetic tensor
+// spec crossed with an engine and an accumulation strategy. Names are stable
+// identifiers — the comparison layer joins baseline and current results by
+// name, so renaming a scenario resets its trajectory.
+type Scenario struct {
+	Name   string
+	Kind   Kind
+	Spec   tensor.GenSpec
+	Engine adatm.EngineKind
+	Accum  adatm.AccumStrategy
+	Rank   int
+	// Iters is the fixed CP-ALS iteration count for KindFit scenarios.
+	Iters int
+}
+
+// scaled returns the quick-mode variant: ~8x fewer nonzeros and half the
+// rank, preserving shapes and relative comparisons (the same contract as the
+// experiment suite's -quick).
+func (s Scenario) scaled(quick bool) Scenario {
+	if !quick {
+		return s
+	}
+	s.Spec.NNZ /= 8
+	if s.Rank > 8 {
+		s.Rank = 8
+	}
+	return s
+}
+
+// The standard synthetic shapes. Dimensions are chosen so each scenario unit
+// runs in single-digit milliseconds at full scale: large enough to exercise
+// the parallel scheduler and accumulation layer, small enough that a
+// multi-sample suite stays under a minute.
+var (
+	// short3 has one 16-wide mode: MTTKRP into it is the high-contention
+	// scatter case where privatized accumulation wins.
+	short3 = tensor.GenSpec{Name: "short3", Dims: []int{2048, 2048, 16}, NNZ: 60000, Skew: []float64{0.3, 0.3, 0}, Seed: 801}
+	// long3 is uniform with all modes long: sparse outputs, scatter's home
+	// turf.
+	long3 = tensor.GenSpec{Name: "long3", Dims: []int{8192, 8192, 8192}, NNZ: 60000, Seed: 802}
+	// zipf4 is an order-4 tensor with heavy Zipf skew in every mode: high
+	// projection overlap, the memoization-friendly regime.
+	zipf4 = tensor.GenSpec{Name: "zipf4", Dims: []int{1024, 1024, 1024, 1024}, NNZ: 60000, Skew: []float64{0.8, 0.8, 0.8, 0.8}, Seed: 803}
+	// order5 exercises the deepest strategy trees.
+	order5 = tensor.GenSpec{Name: "order5", Dims: []int{256, 256, 256, 256, 256}, NNZ: 50000, Skew: []float64{0.5, 0.5, 0.5, 0.5, 0.5}, Seed: 804}
+)
+
+// registry is the standard suite: tensor shape × engine × accumulation
+// strategy coverage of the tuned hot paths, plus end-to-end fits. Kept to a
+// dozen scenarios so the full suite (warmup + N samples each) finishes in
+// CI-friendly time; add a scenario when a PR tunes a path no current
+// scenario would catch regressing.
+var registry = []Scenario{
+	{Name: "mttkrp/short3/coo/scatter", Kind: KindMTTKRP, Spec: short3, Engine: adatm.EngineCOO, Accum: adatm.AccumScatter, Rank: 16},
+	{Name: "mttkrp/short3/coo/privatize", Kind: KindMTTKRP, Spec: short3, Engine: adatm.EngineCOO, Accum: adatm.AccumPrivatize, Rank: 16},
+	{Name: "mttkrp/short3/memo-balanced/auto", Kind: KindMTTKRP, Spec: short3, Engine: adatm.EngineMemoBalanced, Accum: adatm.AccumAuto, Rank: 16},
+	{Name: "mttkrp/long3/coo/scatter", Kind: KindMTTKRP, Spec: long3, Engine: adatm.EngineCOO, Accum: adatm.AccumScatter, Rank: 16},
+	{Name: "mttkrp/long3/csf", Kind: KindMTTKRP, Spec: long3, Engine: adatm.EngineCSF, Accum: adatm.AccumAuto, Rank: 16},
+	{Name: "mttkrp/zipf4/hicoo/auto", Kind: KindMTTKRP, Spec: zipf4, Engine: adatm.EngineHiCOO, Accum: adatm.AccumAuto, Rank: 16},
+	{Name: "mttkrp/zipf4/memo-balanced/auto", Kind: KindMTTKRP, Spec: zipf4, Engine: adatm.EngineMemoBalanced, Accum: adatm.AccumAuto, Rank: 16},
+	{Name: "mttkrp/zipf4/adaptive/auto", Kind: KindMTTKRP, Spec: zipf4, Engine: adatm.EngineAdaptive, Accum: adatm.AccumAuto, Rank: 16},
+	{Name: "mttkrp/order5/csf-one", Kind: KindMTTKRP, Spec: order5, Engine: adatm.EngineCSFOne, Accum: adatm.AccumAuto, Rank: 16},
+	{Name: "mttkrp/order5/adaptive/auto", Kind: KindMTTKRP, Spec: order5, Engine: adatm.EngineAdaptive, Accum: adatm.AccumAuto, Rank: 16},
+	{Name: "fit/short3/coo/scatter", Kind: KindFit, Spec: short3, Engine: adatm.EngineCOO, Accum: adatm.AccumScatter, Rank: 16, Iters: 3},
+	{Name: "fit/zipf4/adaptive/auto", Kind: KindFit, Spec: zipf4, Engine: adatm.EngineAdaptive, Accum: adatm.AccumAuto, Rank: 16, Iters: 3},
+}
+
+// Scenarios returns a copy of the standard scenario registry.
+func Scenarios() []Scenario {
+	return append([]Scenario(nil), registry...)
+}
+
+// Names lists the registered scenario names, sorted.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, s := range registry {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Find returns the named scenario from the registry.
+func Find(name string) (Scenario, error) {
+	for _, s := range registry {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("perf: unknown scenario %q (known: %v)", name, Names())
+}
+
+// Select resolves a list of scenario names (empty = the full registry).
+func Select(names []string) ([]Scenario, error) {
+	if len(names) == 0 {
+		return Scenarios(), nil
+	}
+	out := make([]Scenario, 0, len(names))
+	for _, n := range names {
+		s, err := Find(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}

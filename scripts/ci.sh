@@ -25,3 +25,4 @@ GOMAXPROCS=4 go test -race -count=1 -run 'TestConformanceAccum' ./internal/engin
 make bench-smoke
 make obs-smoke
 make ckpt-smoke
+make perf-gate

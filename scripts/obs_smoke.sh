@@ -50,9 +50,18 @@ for series in adatm_memo_hits_total adatm_memo_misses_total \
     adatm_par_chunk_imbalance_ratio adatm_go_goroutines \
     adatm_build_info adatm_model_predicted_ops adatm_model_measured_ops \
     adatm_model_ops_relative_error adatm_model_top1_agreement \
-    adatm_accum_strategy adatm_accum_reduce_seconds adatm_accum_pool_bytes; do
+    adatm_accum_strategy adatm_accum_reduce_seconds adatm_accum_pool_bytes \
+    adatm_gc_pause_seconds_bucket adatm_gc_pause_seconds_count; do
     grep -q "$series" "$tmp/metrics" || { echo "obs-smoke: /metrics missing $series"; cat "$tmp/metrics"; exit 1; }
 done
+
+# /timeseries must serve the background resource sampler's ring buffer with
+# real samples (the run plus the hold window is far longer than one sampling
+# interval).
+curl -fsS "http://$addr/timeseries" >"$tmp/timeseries"
+grep -q '"interval_ns"' "$tmp/timeseries" || { echo "obs-smoke: /timeseries missing interval"; cat "$tmp/timeseries"; exit 1; }
+grep -q '"heap_alloc_bytes"' "$tmp/timeseries" || { echo "obs-smoke: /timeseries has no samples"; cat "$tmp/timeseries"; exit 1; }
+grep -q '"goroutines"' "$tmp/timeseries" || { echo "obs-smoke: /timeseries samples missing goroutines"; cat "$tmp/timeseries"; exit 1; }
 # The relative-error gauge must carry a finite value (the reconciler clamps
 # degenerate measurements, so NaN/Inf in the exposition is a regression).
 grep '^adatm_model_ops_relative_error' "$tmp/metrics" | grep -qiE 'nan|inf' \
@@ -85,4 +94,54 @@ grep -q '^top-1: model' "$tmp/stdout" || { echo "obs-smoke: -audit table missing
 # The decision ledger must be valid JSONL (decision + chosen candidate per line).
 go run ./scripts/jsonlcheck "$tmp/audit.jsonl" || { echo "obs-smoke: audit ledger invalid"; cat "$tmp/audit.jsonl"; exit 1; }
 
-echo "obs-smoke: OK ($(wc -c <"$tmp/metrics") bytes of metrics, $(wc -c <"$tmp/trace.json") bytes of trace, $(wc -l <"$tmp/audit.jsonl") ledger records)"
+echo "obs-smoke: cpd phase OK ($(wc -c <"$tmp/metrics") bytes of metrics, $(wc -c <"$tmp/trace.json") bytes of trace, $(wc -l <"$tmp/audit.jsonl") ledger records)"
+
+# ---- perfgate phase: the perf-trajectory pipeline end to end --------------
+# One quick sample of one scenario, self-gated (identical sample sets can
+# never regress, so the gate must pass), with the debug server held open so
+# the adatm_perf_* series and /timeseries can be scraped afterwards.
+go build -o "$tmp/perfgate" ./cmd/perfgate
+
+"$tmp/perfgate" gate -self -quick -samples 1 -warmup 0 \
+    -scenarios mttkrp/short3/coo/scatter \
+    -listen 127.0.0.1:0 -hold -auditfile "$tmp/perf_ledger.jsonl" \
+    >"$tmp/perf_stdout" 2>"$tmp/perf_stderr" &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's#.*debug server listening on http://##p' "$tmp/perf_stderr" | head -n1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: perfgate exited early"; cat "$tmp/perf_stderr"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "obs-smoke: perfgate server never announced its address"; cat "$tmp/perf_stderr"; exit 1; }
+
+for _ in $(seq 1 600); do
+    grep -q "holding debug server" "$tmp/perf_stderr" && break
+    kill -0 "$pid" 2>/dev/null || { echo "obs-smoke: perfgate exited before holding"; cat "$tmp/perf_stderr"; exit 1; }
+    sleep 0.1
+done
+
+curl -fsS "http://$addr/metrics" >"$tmp/perf_metrics"
+for series in adatm_perf_suite_running adatm_perf_scenarios \
+    adatm_perf_sample_seconds adatm_perf_samples_total adatm_perf_median_seconds; do
+    grep -q "$series" "$tmp/perf_metrics" || { echo "obs-smoke: perfgate /metrics missing $series"; cat "$tmp/perf_metrics"; exit 1; }
+done
+curl -fsS "http://$addr/timeseries" >"$tmp/perf_timeseries"
+grep -q '"heap_alloc_bytes"' "$tmp/perf_timeseries" \
+    || { echo "obs-smoke: perfgate /timeseries has no samples"; cat "$tmp/perf_timeseries"; exit 1; }
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+
+# The self-gate must have passed and the delta table must name the scenario.
+grep -q "gate passed" "$tmp/perf_stderr" || { echo "obs-smoke: perf self-gate did not pass"; cat "$tmp/perf_stderr"; exit 1; }
+grep -q "mttkrp/short3/coo/scatter" "$tmp/perf_stdout" || { echo "obs-smoke: perf table missing scenario"; cat "$tmp/perf_stdout"; exit 1; }
+
+# The perf ledger must be valid JSONL carrying the perf.suite event.
+go run ./scripts/jsonlcheck "$tmp/perf_ledger.jsonl" || { echo "obs-smoke: perf ledger invalid"; cat "$tmp/perf_ledger.jsonl"; exit 1; }
+grep -q '"perf.suite"' "$tmp/perf_ledger.jsonl" || { echo "obs-smoke: perf ledger missing perf.suite event"; cat "$tmp/perf_ledger.jsonl"; exit 1; }
+
+echo "obs-smoke: OK (perf phase: $(wc -c <"$tmp/perf_metrics") bytes of metrics)"
