@@ -29,6 +29,7 @@ import (
 	"adatm/internal/csf"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/health"
 	"adatm/internal/hicoo"
 	"adatm/internal/memo"
 	"adatm/internal/model"
@@ -85,7 +86,7 @@ type (
 	// MetricLabels is the label set attached to a metric series.
 	MetricLabels = obs.Labels
 	// DebugServer is the live HTTP debug endpoint (/metrics, /healthz,
-	// /debug/pprof/*, /run, /plan).
+	// /debug/pprof/*, /run, /plan, /timeseries, /iters).
 	DebugServer = obs.Server
 	// AuditRecorder records the cost model's selection decision and
 	// reconciles it against the run's measured counters (the model-audit
@@ -114,6 +115,33 @@ type (
 	// AuditEvent is a run-lifecycle entry in the audit ledger (e.g. a
 	// checkpoint resume), alongside decisions and reports.
 	AuditEvent = audit.Event
+	// HealthProbe observes each ALS iteration's numerical state (fit delta,
+	// λ dynamics, Gram-Hadamard conditioning, factor congruence) and keeps a
+	// debounced healthy/stalled/swamp-suspect/ill-conditioned verdict. A
+	// nil probe is valid and free. Attach via Options.Health.
+	HealthProbe = health.Probe
+	// HealthConfig parameterizes NewHealthProbe (sinks and thresholds).
+	HealthConfig = health.Config
+	// HealthThresholds tunes the health rule layer; zero fields select the
+	// documented defaults.
+	HealthThresholds = health.Thresholds
+	// HealthState is the probe's typed verdict.
+	HealthState = health.State
+	// HealthSummary is the probe's end-of-run verdict and aggregates.
+	HealthSummary = health.Summary
+	// IterLog is the bounded ring of per-iteration health samples served at
+	// the debug server's /iters endpoint.
+	IterLog = obs.IterLog
+	// IterSample is one iteration's record in an IterLog.
+	IterSample = obs.IterSample
+)
+
+// Health verdicts, in increasing order of severity.
+const (
+	HealthHealthy        = health.Healthy
+	HealthStalled        = health.Stalled
+	HealthSwampSuspect   = health.SwampSuspect
+	HealthIllConditioned = health.IllConditioned
 )
 
 // Accumulation backends for Options.Accum / EngineConfig.Accum.
@@ -267,6 +295,11 @@ type Options struct {
 	// run (atomic temp-file+rename protocol, rolling retention). A killed
 	// run restarts from the newest checkpoint with Resume.
 	Checkpoint *CheckpointConfig
+	// Health, when non-nil, observes every iteration's numerical state and
+	// maintains a debounced convergence-health verdict (swamp/stall/
+	// conditioning detection) fanned out to the probe's configured sinks.
+	// Build one with NewHealthProbe.
+	Health *HealthProbe
 }
 
 // Decompose computes a rank-R CP decomposition of x.
@@ -316,6 +349,7 @@ func cpdOptions(opt Options) cpd.Options {
 		Metrics:      opt.Metrics,
 		Audit:        opt.Audit,
 		Checkpoint:   opt.Checkpoint,
+		Health:       opt.Health,
 	}
 }
 
@@ -352,6 +386,17 @@ func Resume(x *Tensor, opt Options) (*Result, error) {
 	}
 	return cpd.Resume(x, eng, c, cpdOptions(opt))
 }
+
+// NewHealthProbe builds a numerical-health probe over the configured sinks
+// (all optional): metrics registry, audit-ledger recorder, and iteration
+// log. Attach it via Options.Health; read the verdict back with its Summary
+// method or any of the sinks.
+func NewHealthProbe(cfg HealthConfig) *HealthProbe { return health.New(cfg) }
+
+// NewIterLog builds a ring buffer for per-iteration health samples
+// (capacity <= 0 selects the default of 1024). Wire it into a HealthConfig
+// and serve it live with DebugServer.SetIterLog (the /iters endpoint).
+func NewIterLog(capacity int) *IterLog { return obs.NewIterLog(capacity) }
 
 // NewAuditRecorder builds a model-audit recorder over the configured sinks
 // (all optional): structured logger, JSONL decision ledger, metrics registry,

@@ -51,6 +51,7 @@ func run() int {
 		seed      = flag.Int64("seed", 0, "dataset seed offset")
 		accumStr  = flag.String("accum", "auto", "MTTKRP output accumulation: auto (model decides per mode), scatter, privatize")
 		auditFile = flag.String("auditfile", "", "write the model-audit decision ledger (JSONL) from model experiments (E7) to this file")
+		healthRun = flag.Bool("health", false, "attach a numerical-health probe to the full CP-ALS experiment runs (E2); with -listen, serves the shared iteration stream at /iters")
 		suiteMode = flag.Bool("suite", false, "run the perf-trajectory benchmark suite instead of the experiments; result JSON to stdout")
 		baseline  = flag.String("baseline", "", "run the perf suite and gate it against this baseline result file (implies -suite; exit 1 on regression)")
 		samples   = flag.Int("samples", 5, "measured samples per perf-suite scenario (with -suite/-baseline)")
@@ -138,6 +139,19 @@ func run() int {
 		return 2
 	}
 	cfg := exp.Config{Quick: *quick, Workers: *workers, Rank: *rank, Seed: *seed, Accum: accumStrat}
+	if *healthRun {
+		// One shared iteration stream for every probed run; the per-run
+		// label tells the streams apart. With -listen it is served live at
+		// /iters and the adatm_health_* gauges land in /metrics.
+		iterLog := obs.NewIterLog(0)
+		if srv != nil {
+			srv.SetIterLog(iterLog)
+		}
+		defer iterLog.Close()
+		cfg.Health = func(run string) *adatm.HealthProbe {
+			return adatm.NewHealthProbe(adatm.HealthConfig{Run: run, Metrics: reg, Log: iterLog})
+		}
+	}
 	if *auditFile != "" {
 		f, err := os.Create(*auditFile)
 		if err != nil {

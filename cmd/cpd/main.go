@@ -55,6 +55,8 @@ func main() {
 		auditWarn = flag.Float64("auditwarn", 0.25, "model-audit |relative error| warning threshold")
 		logJSON   = flag.Bool("logjson", false, "emit structured JSON log events (model selection, reconciliation) to stderr")
 		logFile   = flag.String("logfile", "", "write structured JSON log events to this file instead of stderr")
+		healthRun  = flag.Bool("health", false, "track per-iteration numerical health (swamp/stall/conditioning) and print the final verdict (standard CP-ALS only)")
+		healthFile = flag.String("healthfile", "", "write the per-iteration health history (JSONL, /iters schema) to this file")
 		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 		progress  = flag.Bool("progress", false, "print per-iteration progress to stderr")
 		ridge     = flag.Float64("ridge", 0, "Tikhonov regularization weight")
@@ -158,6 +160,7 @@ func main() {
 		tracePath: *tracefile, listen: *listen, hold: *hold, workers: *workers,
 		audit: *auditRun, auditFile: *auditFile, auditWarn: *auditWarn,
 		logJSON: *logJSON, logFile: *logFile,
+		health: *healthRun, healthFile: *healthFile,
 	})
 	if err != nil {
 		fatal(err)
@@ -231,7 +234,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cpd: -audit: no model decision recorded (auditing needs -engine adaptive without a strategy override)")
 	}
 	if *jsonOut {
-		if err := writeReport(os.Stdout, *engName, *rank, res, auditRec); err != nil {
+		if err := writeReport(os.Stdout, *engName, *rank, res, auditRec, obsst.healthSummary()); err != nil {
 			fatal(err)
 		}
 	} else {
@@ -244,6 +247,11 @@ func main() {
 		fmt.Printf("total=%v mttkrp=%v (%.0f%%)\n", res.TotalTime.Round(1e6), res.MTTKRPTime.Round(1e6),
 			100*float64(res.MTTKRPTime)/float64(res.TotalTime))
 		fmt.Printf("lambda=%v\n", res.Lambda)
+		if *healthRun {
+			if s := obsst.healthSummary(); s != nil {
+				fmt.Println(s)
+			}
+		}
 		if *auditRun && auditRec != nil {
 			fmt.Print(auditRec.String())
 		}
@@ -335,12 +343,14 @@ func startProfiling(pprofPath, tracePath string) (func(), error) {
 
 // runReport is the -json output schema.
 type runReport struct {
-	Engine     string          `json:"engine"`
-	Rank       int             `json:"rank"`
-	Iters      int             `json:"iters"`
-	Converged  bool            `json:"converged"`
-	Stopped    bool            `json:"stopped"`
-	Fit        float64         `json:"fit"`
+	Engine    string `json:"engine"`
+	Rank      int    `json:"rank"`
+	Iters     int    `json:"iters"`
+	Converged bool   `json:"converged"`
+	Stopped   bool   `json:"stopped"`
+	// Fit is omitted when the run stopped before its first fit computation
+	// (Result.Fit is NaN there, which JSON cannot carry).
+	Fit        *float64        `json:"fit,omitempty"`
 	TotalNS    int64           `json:"total_ns"`
 	MTTKRPNS   int64           `json:"mttkrp_ns"`
 	Lambda     []float64       `json:"lambda"`
@@ -350,22 +360,25 @@ type runReport struct {
 	// Audit is the model-audit decision and reconciliation of an audited
 	// adaptive run (-audit/-auditfile/-listen with -engine adaptive).
 	Audit *adatm.AuditRecord `json:"audit,omitempty"`
+	// Health is the final numerical-health verdict of a -health run.
+	Health *adatm.HealthSummary `json:"health,omitempty"`
 }
 
-func writeReport(w *os.File, engName string, rank int, res *adatm.Result, auditRec *adatm.AuditRecord) error {
+func writeReport(w *os.File, engName string, rank int, res *adatm.Result, auditRec *adatm.AuditRecord, healthSum *adatm.HealthSummary) error {
 	rep := runReport{
 		Engine:    engName,
 		Rank:      rank,
 		Iters:     res.Iters,
 		Converged: res.Converged,
 		Stopped:   res.Stopped,
-		Fit:       res.Fit,
+		Fit:       finiteFitPtr(res.Fit),
 		TotalNS:   res.TotalTime.Nanoseconds(),
 		MTTKRPNS:  res.MTTKRPTime.Nanoseconds(),
 		Lambda:    res.Lambda,
 		FitTrace:  res.FitTrace,
 		Stats:     res.Stats,
 		Audit:     auditRec,
+		Health:    healthSum,
 	}
 	if res.Stats != nil {
 		rep.PhaseSumNS = res.Stats.PhaseTimeSum().Nanoseconds()

@@ -1,9 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"os"
 	"os/signal"
 	"runtime"
@@ -25,11 +27,13 @@ type obsConfig struct {
 	auditWarn float64 // -auditwarn: |rel err| warning threshold
 	logJSON   bool    // -logjson: structured JSON log events to stderr
 	logFile   string  // -logfile: structured JSON log events to this file
+	health    bool    // -health: numerical-health probe + final verdict
+	healthFile string // -healthfile: per-iteration health history (JSONL)
 }
 
 // enabled reports whether any observability feature was requested.
 func (c obsConfig) enabled() bool {
-	return c.tracePath != "" || c.listen != "" || c.wantAudit()
+	return c.tracePath != "" || c.listen != "" || c.wantAudit() || c.wantHealth()
 }
 
 // wantAudit reports whether the run needs a model-audit recorder: any audit
@@ -37,6 +41,13 @@ func (c obsConfig) enabled() bool {
 // the adatm_model_* gauges at /metrics).
 func (c obsConfig) wantAudit() bool {
 	return c.audit || c.auditFile != "" || c.logJSON || c.logFile != "" || c.listen != ""
+}
+
+// wantHealth reports whether the run needs a numerical-health probe: either
+// health flag, or a debug server (which serves the iteration stream at
+// /iters and the adatm_health_* gauges at /metrics).
+func (c obsConfig) wantHealth() bool {
+	return c.health || c.healthFile != "" || c.listen != ""
 }
 
 // obsState bundles the optional observability wiring of one CLI run: the
@@ -51,6 +62,9 @@ type obsState struct {
 	audit     *adatm.AuditRecorder
 	auditFile *os.File
 	logFile   *os.File
+	health    *adatm.HealthProbe
+	iterLog   *adatm.IterLog
+	healthPath string
 	tracePath string
 	hold      bool
 	started   time.Time
@@ -60,18 +74,32 @@ type obsState struct {
 // runSnapshot is the JSON payload served at /run, refreshed after every
 // completed ALS iteration and finalized when the run ends.
 type runSnapshot struct {
-	Engine    string  `json:"engine"`
-	Rank      int     `json:"rank"`
-	Iter      int     `json:"iter"`
-	Fit       float64 `json:"fit"`
-	FitDelta  float64 `json:"fit_delta"`
-	ElapsedMS int64   `json:"elapsed_ms"`
-	MTTKRPMS  int64   `json:"mttkrp_ms"`
-	Done      bool    `json:"done"`
-	Converged bool    `json:"converged"`
+	Engine string `json:"engine"`
+	Rank   int    `json:"rank"`
+	Iter   int    `json:"iter"`
+	// Fit is omitted (not zero) when no iteration ever computed one — a
+	// NaN fit cannot be JSON-marshaled and a fake 0 would be misleading.
+	Fit       *float64 `json:"fit,omitempty"`
+	FitDelta  float64  `json:"fit_delta"`
+	ElapsedMS int64    `json:"elapsed_ms"`
+	MTTKRPMS  int64    `json:"mttkrp_ms"`
+	Done      bool     `json:"done"`
+	Converged bool     `json:"converged"`
 	// Audit carries the model-audit decision and reconciliation in the final
 	// snapshot of an audited run.
 	Audit *adatm.AuditRecord `json:"audit,omitempty"`
+	// Health carries the final numerical-health verdict of a -health run.
+	Health *adatm.HealthSummary `json:"health,omitempty"`
+}
+
+// finiteFitPtr boxes a fit for JSON output, mapping NaN (a run stopped
+// before its first fit computation) to nil/omitted — encoding/json cannot
+// marshal NaN.
+func finiteFitPtr(fit float64) *float64 {
+	if math.IsNaN(fit) {
+		return nil
+	}
+	return &fit
 }
 
 // setupObs builds the tracer/registry/server/audit-recorder requested by the
@@ -119,6 +147,18 @@ func setupObs(cfg obsConfig) (*obsState, error) {
 			return nil, err
 		}
 	}
+	if cfg.wantHealth() {
+		// Built after the audit recorder so the probe's health.state events
+		// land in the same ledger/log sinks as the model-audit records.
+		o.iterLog = adatm.NewIterLog(0)
+		o.health = adatm.NewHealthProbe(adatm.HealthConfig{
+			Metrics: o.metrics, Audit: o.audit, Log: o.iterLog,
+		})
+		o.healthPath = cfg.healthFile
+		if o.server != nil {
+			o.server.SetIterLog(o.iterLog)
+		}
+	}
 	return o, nil
 }
 
@@ -161,6 +201,17 @@ func (o *obsState) options(opt *adatm.Options) {
 	opt.Tracer = o.tracer
 	opt.Metrics = o.metrics
 	opt.Audit = o.audit
+	opt.Health = o.health
+}
+
+// healthSummary returns the run's final health verdict, or nil when no
+// probe was wired.
+func (o *obsState) healthSummary() *adatm.HealthSummary {
+	if o == nil || o.health == nil {
+		return nil
+	}
+	s := o.health.Summary()
+	return &s
 }
 
 // latestAudit returns the run's audit record, or nil when no decision was
@@ -184,7 +235,7 @@ func (o *obsState) progress(engName string, rank int, inner func(adatm.IterStats
 	}
 	return func(s adatm.IterStats) bool {
 		o.server.SetRun(runSnapshot{
-			Engine: engName, Rank: rank, Iter: s.Iter, Fit: s.Fit, FitDelta: s.FitDelta,
+			Engine: engName, Rank: rank, Iter: s.Iter, Fit: finiteFitPtr(s.Fit), FitDelta: s.FitDelta,
 			ElapsedMS: s.Elapsed.Milliseconds(), MTTKRPMS: s.MTTKRPTime.Milliseconds(),
 		})
 		if inner != nil {
@@ -205,6 +256,18 @@ func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
 		return
 	}
 	o.done = true
+	// Seal the iteration stream first so /iters?follow=1 clients terminate
+	// (the snapshot stays served through any -hold window), then dump the
+	// retained history to -healthfile — on error exits too, since a sick
+	// run's trajectory is exactly what the file is for.
+	o.iterLog.Close()
+	if o.healthPath != "" && o.iterLog != nil {
+		if err := writeIterLog(o.healthPath, o.iterLog); err != nil {
+			fmt.Fprintln(os.Stderr, "cpd: healthfile:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "wrote %d health samples to %s\n", o.iterLog.Seq(), o.healthPath)
+		}
+	}
 	if o.tracer != nil {
 		adatm.TraceChunks(nil)
 		if err := writeTraceFile(o.tracePath, o.tracer); err != nil {
@@ -216,10 +279,11 @@ func (o *obsState) finish(engName string, rank int, res *adatm.Result) {
 	if o.server != nil {
 		if res != nil {
 			o.server.SetRun(runSnapshot{
-				Engine: engName, Rank: rank, Iter: res.Iters, Fit: res.Fit,
+				Engine: engName, Rank: rank, Iter: res.Iters, Fit: finiteFitPtr(res.Fit),
 				ElapsedMS: time.Since(o.started).Milliseconds(), MTTKRPMS: res.MTTKRPTime.Milliseconds(),
 				Done: true, Converged: res.Converged,
-				Audit: o.latestAudit(),
+				Audit:  o.latestAudit(),
+				Health: o.healthSummary(),
 			})
 		}
 		if o.hold && res != nil {
@@ -245,6 +309,23 @@ func (o *obsState) closeFiles() {
 		o.logFile.Close()
 		o.logFile = nil
 	}
+}
+
+// writeIterLog dumps the retained iteration-health history as JSONL, one
+// IterSample per line (the same schema the /iters stream serves).
+func writeIterLog(path string, l *adatm.IterLog) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, s := range l.Snapshot() {
+		if err := enc.Encode(s); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
 }
 
 func writeTraceFile(path string, tr *adatm.Tracer) error {

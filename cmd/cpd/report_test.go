@@ -26,7 +26,7 @@ func TestWriteReportPhaseSum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := writeReport(f, "coo", 8, res, nil); err != nil {
+	if err := writeReport(f, "coo", 8, res, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -75,5 +75,49 @@ func TestWriteReportPhaseSum(t *testing.T) {
 	}
 	if float64(rep.PhaseSumNS) < 0.95*float64(rep.TotalNS) {
 		t.Errorf("phase sum %d ns covers <95%% of total %d ns", rep.PhaseSumNS, rep.TotalNS)
+	}
+}
+
+// A -health run's JSON report carries the final numerical-health verdict.
+func TestWriteReportHealthVerdict(t *testing.T) {
+	x := adatm.Generate(adatm.GenSpec{Dims: []int{30, 30, 30}, NNZ: 5000, Seed: 3})
+	probe := adatm.NewHealthProbe(adatm.HealthConfig{})
+	res, err := adatm.Decompose(x, adatm.Options{
+		Rank: 4, MaxIters: 5, Tol: 1e-12, Seed: 1, Workers: 1,
+		Engine: adatm.EngineCOO, Health: probe,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := probe.Summary()
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writeReport(f, "coo", 4, res, nil, &sum); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Health *struct {
+			State string `json:"state"`
+			Iters int    `json:"iters"`
+		} `json:"health"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if rep.Health == nil {
+		t.Fatal("health verdict missing from -json report")
+	}
+	if rep.Health.State != "healthy" || rep.Health.Iters != res.Iters {
+		t.Errorf("health verdict = %+v, want healthy over %d iters", rep.Health, res.Iters)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"adatm/internal/audit"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
+	"adatm/internal/health"
 	"adatm/internal/obs"
 	"adatm/internal/tensor"
 )
@@ -80,6 +81,13 @@ type Options struct {
 	// the newest checkpoint with an identical trajectory. The disabled path
 	// is one pointer test per iteration.
 	Checkpoint *CheckpointConfig
+	// Health, when non-nil, observes every completed iteration's numerical
+	// state (fit delta, λ dynamics, Gram-Hadamard conditioning, factor
+	// congruence) and maintains a debounced healthy/stalled/swamp-suspect/
+	// ill-conditioned verdict. The probe reads only state already resident
+	// in the loop — no extra MTTKRPs — and is allocation-free in steady
+	// state; the disabled path is one pointer test per iteration.
+	Health *health.Probe
 }
 
 // epsMU guards the multiplicative-update denominator against division by
@@ -91,7 +99,11 @@ type Result struct {
 	Lambda  []float64       // component weights, one per rank
 	Factors []*dense.Matrix // column-normalized factor matrices
 	Iters   int
-	Fit     float64 // 1 − ‖X − X̂‖/‖X‖ after the final iteration
+	// Fit is 1 − ‖X − X̂‖/‖X‖ after the final iteration. NaN when the run
+	// was stopped (ctx cancellation) before any iteration completed, i.e.
+	// before the first fit was ever computed — check Iters > 0 or
+	// math.IsNaN before consuming it.
+	Fit float64
 	// Converged reports whether the fit change dropped below Tol before
 	// MaxIters.
 	Converged bool
@@ -154,7 +166,10 @@ func run(x *tensor.COO, eng engine.Engine, opt Options, rs *resumeState) (*Resul
 	}
 
 	lambda := make([]float64, r)
-	res := &Result{Factors: factors}
+	// Fit starts at NaN, not 0: a run cancelled before the first fit
+	// computation must not report a (perfect-looking for an exact model)
+	// fit of zero. The first completed iteration overwrites it.
+	res := &Result{Factors: factors, Fit: math.NaN()}
 	startIter := 1
 	prevFit := math.Inf(-1)
 	if rs != nil {
@@ -319,6 +334,10 @@ func run(x *tensor.COO, eng engine.Engine, opt Options, rs *resumeState) (*Resul
 		res.Iters = iter
 		res.Fit = fit
 		clock.iteration(fit)
+		opt.Health.Observe(health.Input{
+			Iter: iter, Fit: fit, PrevFit: prevFit, Tol: tol,
+			Lambda: lambda, Grams: grams,
+		})
 		if cw != nil {
 			if cerr := cw.boundary(iter, fit, lambda, factors, res.FitTrace); cerr != nil {
 				finish()

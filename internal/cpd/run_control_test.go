@@ -80,6 +80,11 @@ func TestRunCancelledBeforeStart(t *testing.T) {
 	if res == nil || res.Iters != 0 {
 		t.Fatalf("want zero-iteration partial result, got %+v", res)
 	}
+	// Regression: a run stopped before its first fit computation must report
+	// NaN, not a stale zero that reads as a legitimate (terrible) fit.
+	if !math.IsNaN(res.Fit) {
+		t.Errorf("Fit = %v on a zero-iteration run, want NaN", res.Fit)
+	}
 }
 
 func TestRunProgressStop(t *testing.T) {

@@ -79,9 +79,13 @@ func E2CPALSIter(cfg Config) *Table {
 		row := []any{ds.Name}
 		var csfPer time.Duration
 		for i, k := range kinds {
-			res, err := adatm.Decompose(ds.X, adatm.Options{
+			opt := adatm.Options{
 				Rank: cfg.rank(), MaxIters: iters, Tol: 1e-12, Seed: 5, Workers: cfg.Workers, Engine: k,
-			})
+			}
+			if cfg.Health != nil {
+				opt.Health = cfg.Health(ds.Name + "/" + string(k))
+			}
+			res, err := adatm.Decompose(ds.X, opt)
 			if err != nil {
 				panic(err)
 			}

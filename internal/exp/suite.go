@@ -33,6 +33,11 @@ type Config struct {
 	// in the suite (default adatm.AccumAuto: model-driven per mode);
 	// adabench wires its -accum flag here.
 	Accum adatm.AccumStrategy
+	// Health, when non-nil, builds a fresh numerical-health probe for every
+	// full CP-ALS run of the experiments that fit models (E2). The run
+	// label ("dataset/engine") distinguishes the runs in a shared iteration
+	// stream; adabench wires its -health flag here.
+	Health func(run string) *adatm.HealthProbe
 }
 
 func (c Config) rank() int {

@@ -1,0 +1,176 @@
+package health
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"adatm/internal/dense"
+)
+
+// randomOrthonormal returns an n×n orthonormal matrix: the eigenvectors of a
+// random symmetric matrix (a Haar-ish random rotation, good enough to decouple
+// the test spectra from any axis alignment).
+func randomOrthonormal(n int, rng *rand.Rand) *dense.Matrix {
+	s := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			s.Set(i, j, v)
+			s.Set(j, i, v)
+		}
+	}
+	_, v := dense.SymEig(s)
+	return v
+}
+
+// spdWithSpectrum builds A = V·diag(d)·Vᵀ for a random rotation V.
+func spdWithSpectrum(d []float64, rng *rand.Rand) *dense.Matrix {
+	n := len(d)
+	v := randomOrthonormal(n, rng)
+	a := dense.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += v.At(i, k) * d[k] * v.At(j, k)
+			}
+			a.Set(i, j, s)
+		}
+	}
+	return a
+}
+
+// symEigCond computes the exact spectral condition number via the dense
+// eigensolver — the reference the power-iteration estimate is judged against.
+func symEigCond(a *dense.Matrix) float64 {
+	w, _ := dense.SymEig(a)
+	lo, hi := math.Inf(1), 0.0
+	for _, v := range w {
+		av := math.Abs(v)
+		if av < lo {
+			lo = av
+		}
+		if av > hi {
+			hi = av
+		}
+	}
+	return hi / lo
+}
+
+// Property: on random SPD R×R systems the power-iteration estimate κ̂ stays
+// within a factor of 2 of the exact condition number from the eigensolver.
+func TestCondEstimateWithinTwoOfExact(t *testing.T) {
+	var ce condEstimator
+	for _, r := range []int{8, 16, 32} {
+		rng := rand.New(rand.NewSource(int64(100 + r)))
+		for trial := 0; trial < 20; trial++ {
+			// Log-spaced spectrum with a random spread in [1e1, 1e6].
+			kappa := math.Pow(10, 1+5*rng.Float64())
+			d := make([]float64, r)
+			for i := range d {
+				d[i] = math.Pow(kappa, float64(i)/float64(r-1))
+			}
+			a := spdWithSpectrum(d, rng)
+			exact := symEigCond(a)
+			got := ce.estimate(a)
+			if got < exact/2 || got > exact*2 {
+				t.Errorf("R=%d trial=%d: κ̂=%.4g outside 2x of exact %.4g", r, trial, got, exact)
+			}
+		}
+	}
+}
+
+// The same property on matrices shaped like the probe actually sees: the
+// Hadamard product of factor Gram matrices.
+func TestCondEstimateGramHadamard(t *testing.T) {
+	var ce condEstimator
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		r := 8
+		g1 := dense.Gram(dense.Random(4*r, r, rng), nil, 1)
+		g2 := dense.Gram(dense.Random(4*r, r, rng), nil, 1)
+		h := dense.New(r, r)
+		h.Fill(1)
+		dense.Hadamard(h, g1, h)
+		dense.Hadamard(h, g2, h)
+		exact := symEigCond(h)
+		got := ce.estimate(h)
+		if got < exact/2 || got > exact*2 {
+			t.Errorf("trial=%d: κ̂=%.4g outside 2x of exact %.4g", trial, got, exact)
+		}
+	}
+}
+
+func TestCondEstimateEdgeCases(t *testing.T) {
+	var ce condEstimator
+
+	// Identity: perfectly conditioned.
+	id := dense.New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	if got := ce.estimate(id); math.Abs(got-1) > 1e-6 {
+		t.Errorf("κ̂(I) = %v, want 1", got)
+	}
+
+	// Known diagonal spread.
+	d := dense.New(3, 3)
+	d.Set(0, 0, 100)
+	d.Set(1, 1, 10)
+	d.Set(2, 2, 1)
+	if got := ce.estimate(d); got < 50 || got > 200 {
+		t.Errorf("κ̂(diag(100,10,1)) = %v, want ~100", got)
+	}
+
+	// Singular (rank-deficient) matrix: Cholesky fails, ceiling reported.
+	sing := dense.New(2, 2)
+	sing.Set(0, 0, 1)
+	sing.Set(0, 1, 1)
+	sing.Set(1, 0, 1)
+	sing.Set(1, 1, 1)
+	if got := ce.estimate(sing); got != KappaCeil {
+		t.Errorf("κ̂(singular) = %v, want KappaCeil", got)
+	}
+
+	// Indefinite matrix (negative diagonal) reports the ceiling too.
+	neg := dense.New(2, 2)
+	neg.Set(0, 0, -1)
+	neg.Set(1, 1, -1)
+	if got := ce.estimate(neg); got != KappaCeil {
+		t.Errorf("κ̂(negative-definite) = %v, want KappaCeil", got)
+	}
+
+	// 1x1 fast path.
+	one := dense.New(1, 1)
+	one.Set(0, 0, 5)
+	if got := ce.estimate(one); got != 1 {
+		t.Errorf("κ̂([5]) = %v, want 1", got)
+	}
+	one.Set(0, 0, 0)
+	if got := ce.estimate(one); got != KappaCeil {
+		t.Errorf("κ̂([0]) = %v, want KappaCeil", got)
+	}
+
+	// Non-square input is a programming error.
+	defer func() {
+		if recover() == nil {
+			t.Error("estimate of a non-square matrix did not panic")
+		}
+	}()
+	ce.estimate(dense.New(2, 3))
+}
+
+// Repeated estimates at a fixed size reuse scratch: no allocations.
+func TestCondEstimateSteadyStateZeroAlloc(t *testing.T) {
+	var ce condEstimator
+	rng := rand.New(rand.NewSource(3))
+	a := dense.Gram(dense.Random(32, 8, rng), nil, 1)
+	ce.estimate(a) // warm: sizes scratch
+	allocs := testing.AllocsPerRun(100, func() {
+		ce.estimate(a)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state estimate: %v allocs, want 0", allocs)
+	}
+}

@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"math"
+	"sync"
+)
+
+// IterSample is one CP-ALS iteration's numerical-health record: the fit
+// trajectory, λ dynamics, the per-mode condition estimates of the
+// Gram-Hadamard systems, factor column congruence, and the rule layer's
+// verdict for that iteration. Every float must be finite — Append sanitizes
+// defensively so the JSON endpoints can never fail to marshal a sample.
+type IterSample struct {
+	// Run labels the producing run when one log is shared across runs
+	// (e.g. an experiment sweep); empty for single-run processes.
+	Run string `json:"run,omitempty"`
+	// Iter is the 1-based ALS iteration the sample describes.
+	Iter int     `json:"iter"`
+	Fit  float64 `json:"fit"`
+	// FitDelta is fit − previous fit (0 on the first iteration, where no
+	// previous fit exists).
+	FitDelta float64 `json:"fit_delta"`
+	// LambdaRatio is max|λ|/min|λ| across components.
+	LambdaRatio float64 `json:"lambda_ratio"`
+	// MaxKappa / MaxCongruence are the worst per-mode values of Kappa and
+	// Congruence below.
+	MaxKappa      float64 `json:"max_kappa"`
+	MaxCongruence float64 `json:"max_congruence"`
+	// Kappa is the estimated condition number of each mode's R×R
+	// Gram-Hadamard system.
+	Kappa []float64 `json:"kappa,omitempty"`
+	// Congruence is each mode's max off-diagonal of the normalized factor
+	// cross-Gram — the standard swamp indicator.
+	Congruence []float64 `json:"congruence,omitempty"`
+	// State is the rule layer's debounced verdict name ("healthy",
+	// "stalled", "swamp-suspect", "ill-conditioned").
+	State string `json:"state"`
+}
+
+// DefaultIterLogCapacity is the ring size NewIterLog picks for capacity <= 0.
+const DefaultIterLogCapacity = 1024
+
+// IterLog is a bounded ring of per-iteration health samples, written by the
+// solver's health probe and read by the /iters debug endpoint. Append is
+// allocation-free once the ring is warm (the first Append sizes every slot's
+// per-mode slices from one backing array), so the probe can feed it from the
+// pinned zero-alloc steady state. Readers get copies and may poll After with
+// their last seen sequence number to stream a live run.
+//
+// A nil *IterLog is valid: Append/Close no-op and the read methods return
+// empty results, so the disabled path is one pointer test.
+type IterLog struct {
+	mu     sync.Mutex
+	ring   []IterSample
+	seq    int64 // total samples ever appended
+	closed bool
+	warmed bool
+}
+
+// NewIterLog builds a ring holding the newest capacity samples
+// (capacity <= 0 selects DefaultIterLogCapacity).
+func NewIterLog(capacity int) *IterLog {
+	if capacity <= 0 {
+		capacity = DefaultIterLogCapacity
+	}
+	return &IterLog{ring: make([]IterSample, capacity)}
+}
+
+// finiteOr replaces a non-finite value so a sample can always marshal:
+// NaN → 0, ±Inf → ±MaxFloat64.
+func finiteOr(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
+}
+
+// Append records one sample (copied; the caller may reuse s and its slices).
+func (l *IterLog) Append(s IterSample) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.warmed {
+		// Carve every slot's per-mode slices out of one backing array so
+		// steady-state appends never allocate. A later sample with more
+		// modes (a shared log across runs of different orders) grows its
+		// slot's slice the ordinary way.
+		l.warmed = true
+		n := len(s.Kappa)
+		if c := len(s.Congruence); c > n {
+			n = c
+		}
+		if n > 0 {
+			backing := make([]float64, 2*len(l.ring)*n)
+			for i := range l.ring {
+				off := 2 * i * n
+				l.ring[i].Kappa = backing[off : off : off+n]
+				l.ring[i].Congruence = backing[off+n : off+n : off+2*n]
+			}
+		}
+	}
+	slot := &l.ring[l.seq%int64(len(l.ring))]
+	slot.Run = s.Run
+	slot.Iter = s.Iter
+	slot.Fit = finiteOr(s.Fit)
+	slot.FitDelta = finiteOr(s.FitDelta)
+	slot.LambdaRatio = finiteOr(s.LambdaRatio)
+	slot.MaxKappa = finiteOr(s.MaxKappa)
+	slot.MaxCongruence = finiteOr(s.MaxCongruence)
+	slot.Kappa = slot.Kappa[:0]
+	for _, v := range s.Kappa {
+		slot.Kappa = append(slot.Kappa, finiteOr(v))
+	}
+	slot.Congruence = slot.Congruence[:0]
+	for _, v := range s.Congruence {
+		slot.Congruence = append(slot.Congruence, finiteOr(v))
+	}
+	slot.State = s.State
+	l.seq++
+}
+
+// Seq returns the total number of samples ever appended (the next sample's
+// global sequence number).
+func (l *IterLog) Seq() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Close marks the producing run finished, so followers of the live stream
+// know no further samples will arrive. Idempotent; Append after Close is
+// still accepted (a new run may reuse the log).
+func (l *IterLog) Close() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+}
+
+// Closed reports whether Close has been called.
+func (l *IterLog) Closed() bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// After returns copies of the retained samples with global sequence >= after
+// (oldest first), the log's current sequence number, and whether the log is
+// closed. Samples older than the ring window are silently unavailable;
+// pass the previously returned seq to stream without duplicates.
+func (l *IterLog) After(after int64) (samples []IterSample, seq int64, closed bool) {
+	if l == nil {
+		return nil, 0, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start := after
+	if oldest := l.seq - int64(len(l.ring)); start < oldest {
+		start = oldest
+	}
+	if start < 0 {
+		start = 0
+	}
+	if start >= l.seq {
+		return nil, l.seq, l.closed
+	}
+	out := make([]IterSample, 0, l.seq-start)
+	for i := start; i < l.seq; i++ {
+		s := l.ring[i%int64(len(l.ring))]
+		s.Kappa = append([]float64(nil), s.Kappa...)
+		s.Congruence = append([]float64(nil), s.Congruence...)
+		out = append(out, s)
+	}
+	return out, l.seq, l.closed
+}
+
+// Snapshot returns copies of every retained sample, oldest first.
+func (l *IterLog) Snapshot() []IterSample {
+	s, _, _ := l.After(0)
+	return s
+}

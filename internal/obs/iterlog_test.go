@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func sampleAt(iter int) IterSample {
+	return IterSample{
+		Iter: iter, Fit: 0.5 + float64(iter)/100, FitDelta: 0.01,
+		LambdaRatio: 2, MaxKappa: 10, MaxCongruence: 0.3,
+		Kappa: []float64{10, 8, 6}, Congruence: []float64{0.3, 0.2, 0.1},
+		State: "healthy",
+	}
+}
+
+func TestIterLogAppendSnapshot(t *testing.T) {
+	l := NewIterLog(8)
+	for i := 1; i <= 5; i++ {
+		l.Append(sampleAt(i))
+	}
+	snap := l.Snapshot()
+	if len(snap) != 5 {
+		t.Fatalf("snapshot has %d samples, want 5", len(snap))
+	}
+	for i, s := range snap {
+		if s.Iter != i+1 {
+			t.Errorf("snapshot[%d].Iter = %d, want %d", i, s.Iter, i+1)
+		}
+		if len(s.Kappa) != 3 || len(s.Congruence) != 3 {
+			t.Errorf("snapshot[%d] per-mode slices %d/%d, want 3/3", i, len(s.Kappa), len(s.Congruence))
+		}
+	}
+	// Snapshots are copies: mutating one must not reach the ring.
+	snap[0].Kappa[0] = -99
+	if l.Snapshot()[0].Kappa[0] == -99 {
+		t.Error("snapshot aliases ring storage")
+	}
+}
+
+func TestIterLogRingWraparound(t *testing.T) {
+	l := NewIterLog(4)
+	for i := 1; i <= 10; i++ {
+		l.Append(sampleAt(i))
+	}
+	if l.Seq() != 10 {
+		t.Fatalf("Seq = %d, want 10", l.Seq())
+	}
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d samples, want the newest 4", len(snap))
+	}
+	for i, s := range snap {
+		if s.Iter != 7+i {
+			t.Errorf("snapshot[%d].Iter = %d, want %d", i, s.Iter, 7+i)
+		}
+	}
+}
+
+func TestIterLogAfter(t *testing.T) {
+	l := NewIterLog(16)
+	for i := 1; i <= 6; i++ {
+		l.Append(sampleAt(i))
+	}
+	samples, seq, closed := l.After(4)
+	if seq != 6 || closed {
+		t.Fatalf("After(4) seq=%d closed=%v, want 6 false", seq, closed)
+	}
+	if len(samples) != 2 || samples[0].Iter != 5 || samples[1].Iter != 6 {
+		t.Fatalf("After(4) = %+v, want iters 5,6", samples)
+	}
+	// Caught up: no samples, same seq.
+	samples, seq, _ = l.After(seq)
+	if len(samples) != 0 || seq != 6 {
+		t.Fatalf("After(6) = %d samples seq=%d, want 0 and 6", len(samples), seq)
+	}
+	l.Close()
+	if _, _, closed := l.After(6); !closed {
+		t.Error("After after Close does not report closed")
+	}
+	if !l.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+}
+
+func TestIterLogSanitizesNonFinite(t *testing.T) {
+	l := NewIterLog(4)
+	l.Append(IterSample{
+		Iter: 1, Fit: math.NaN(), FitDelta: math.Inf(1),
+		LambdaRatio: math.Inf(-1), Kappa: []float64{math.NaN()},
+		State: "healthy",
+	})
+	s := l.Snapshot()[0]
+	if s.Fit != 0 || s.FitDelta != math.MaxFloat64 || s.LambdaRatio != -math.MaxFloat64 || s.Kappa[0] != 0 {
+		t.Errorf("non-finite values not sanitized: %+v", s)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Errorf("sanitized sample still fails to marshal: %v", err)
+	}
+}
+
+func TestIterLogNilSafe(t *testing.T) {
+	var l *IterLog
+	l.Append(sampleAt(1))
+	l.Close()
+	if l.Seq() != 0 || l.Closed() {
+		t.Error("nil IterLog reports non-zero state")
+	}
+	if s := l.Snapshot(); len(s) != 0 {
+		t.Errorf("nil Snapshot = %v", s)
+	}
+	if samples, seq, closed := l.After(0); samples != nil || seq != 0 || closed {
+		t.Error("nil After returns non-zero state")
+	}
+}
+
+// Steady-state appends must not allocate: the probe feeds the log from
+// inside the solver's pinned zero-alloc iteration loop.
+func TestIterLogAppendSteadyStateZeroAlloc(t *testing.T) {
+	l := NewIterLog(8)
+	s := sampleAt(1)
+	l.Append(s) // warm: slot slices carved from the shared backing array
+	allocs := testing.AllocsPerRun(100, func() {
+		l.Append(s)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Append: %v allocs, want 0", allocs)
+	}
+}
+
+func TestIterLogConcurrentAppendRead(t *testing.T) {
+	l := NewIterLog(32)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 200; i++ {
+			l.Append(sampleAt(i))
+		}
+		l.Close()
+	}()
+	go func() {
+		defer wg.Done()
+		var after int64
+		for {
+			samples, seq, closed := l.After(after)
+			for _, s := range samples {
+				if s.Iter <= 0 || s.State != "healthy" {
+					t.Errorf("torn sample: %+v", s)
+					return
+				}
+			}
+			after = seq
+			if closed {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+}
+
+func TestServerItersSnapshot(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	// No log attached: valid empty payload.
+	code, body := get(t, base+"/iters")
+	if code != 200 {
+		t.Fatalf("/iters (no log) = %d", code)
+	}
+	var payload struct {
+		Seq    int64        `json:"seq"`
+		Closed bool         `json:"closed"`
+		Iters  []IterSample `json:"iters"`
+	}
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/iters (no log) not JSON: %v\n%s", err, body)
+	}
+	if payload.Seq != 0 || len(payload.Iters) != 0 {
+		t.Errorf("/iters (no log) = %+v", payload)
+	}
+
+	l := NewIterLog(8)
+	srv.SetIterLog(l)
+	for i := 1; i <= 3; i++ {
+		l.Append(sampleAt(i))
+	}
+	_, body = get(t, base+"/iters")
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("/iters not JSON: %v\n%s", err, body)
+	}
+	if payload.Seq != 3 || len(payload.Iters) != 3 || payload.Closed {
+		t.Fatalf("/iters = seq=%d closed=%v n=%d, want 3 false 3", payload.Seq, payload.Closed, len(payload.Iters))
+	}
+	if payload.Iters[2].Iter != 3 || payload.Iters[2].State != "healthy" {
+		t.Errorf("/iters last sample = %+v", payload.Iters[2])
+	}
+}
+
+func TestServerItersFollowStreamsLive(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l := NewIterLog(8)
+	srv.SetIterLog(l)
+	l.Append(sampleAt(1)) // backlog before the client connects
+
+	resp, err := http.Get("http://" + srv.Addr() + "/iters?follow=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "ndjson") {
+		t.Errorf("follow Content-Type = %q", ct)
+	}
+
+	type line struct {
+		iter  int
+		state string
+	}
+	lines := make(chan line, 16)
+	errs := make(chan error, 1)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var s IterSample
+			if err := json.Unmarshal(sc.Bytes(), &s); err != nil {
+				errs <- err
+				return
+			}
+			lines <- line{s.Iter, s.State}
+		}
+		close(lines)
+	}()
+
+	expect := func(iter int) {
+		t.Helper()
+		select {
+		case err := <-errs:
+			t.Fatalf("follow stream: bad NDJSON: %v", err)
+		case got, ok := <-lines:
+			if !ok {
+				t.Fatalf("follow stream ended before iter %d", iter)
+			}
+			if got.iter != iter {
+				t.Fatalf("follow stream got iter %d, want %d", got.iter, iter)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("follow stream timed out waiting for iter %d", iter)
+		}
+	}
+	expect(1) // the backlog
+	l.Append(sampleAt(2))
+	expect(2) // appended while streaming
+	l.Close()
+	// After Close the handler must terminate the stream.
+	select {
+	case _, ok := <-lines:
+		if ok {
+			t.Fatal("unexpected extra sample after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow stream did not terminate after Close")
+	}
+}
+
+func TestServerItersFollowDrainsClosedLog(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	l := NewIterLog(8)
+	for i := 1; i <= 4; i++ {
+		l.Append(sampleAt(i))
+	}
+	l.Close()
+	srv.SetIterLog(l)
+
+	// A follower of an already-finished run gets the backlog and EOF.
+	code, body := get(t, "http://"+srv.Addr()+"/iters?follow=1")
+	if code != 200 {
+		t.Fatalf("/iters?follow=1 = %d", code)
+	}
+	var n int
+	for _, ln := range strings.Split(strings.TrimSpace(body), "\n") {
+		var s IterSample
+		if err := json.Unmarshal([]byte(ln), &s); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", ln, err)
+		}
+		n++
+	}
+	if n != 4 {
+		t.Errorf("closed-log follow returned %d lines, want 4", n)
+	}
+}

@@ -1,0 +1,222 @@
+package obs
+
+import (
+	"bufio"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile is not NaN")
+	}
+	h := NewHistogram([]float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile is not NaN")
+	}
+	h.Observe(1.5)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Errorf("Quantile(%v) is not NaN", q)
+		}
+	}
+	if got := h.Quantile(0); math.IsNaN(got) {
+		t.Error("Quantile(0) on a populated histogram is NaN")
+	}
+}
+
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 10; i++ {
+		h.Observe(3) // all land in (2, 4]
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if got < 2 || got > 4 {
+			t.Errorf("Quantile(%v) = %v, want within (2, 4]", q, got)
+		}
+	}
+}
+
+func TestQuantileLogBucketsMedian(t *testing.T) {
+	// Log2 buckets, log-uniform observations: the geometric interpolation
+	// should land the median within one bucket width of the true median.
+	h := NewHistogram(FitDeltaTestBounds())
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, 0, 4001)
+	for i := 0; i < 4001; i++ {
+		v := math.Ldexp(1, -30) * math.Pow(2, rng.Float64()*20) // 2^-30 .. 2^-10
+		vals = append(vals, v)
+		h.Observe(v)
+	}
+	// Exact median.
+	sortFloats(vals)
+	exact := vals[len(vals)/2]
+	got := h.Quantile(0.5)
+	if got < exact/2 || got > exact*2 {
+		t.Errorf("median estimate %v vs exact %v: outside one log2 bucket", got, exact)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100) // +Inf overflow
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("overflow quantile = %v, want highest finite bound 2", got)
+	}
+}
+
+func TestQuantileNegativeAndZeroBounds(t *testing.T) {
+	h := NewHistogram([]float64{-2, 0, 2})
+	h.Observe(-1)
+	h.Observe(1)
+	lo := h.Quantile(0.25)
+	hi := h.Quantile(0.75)
+	if lo < -2 || lo > 0 {
+		t.Errorf("Quantile(0.25) = %v, want in [-2, 0]", lo)
+	}
+	if hi < 0 || hi > 2 {
+		t.Errorf("Quantile(0.75) = %v, want in [0, 2]", hi)
+	}
+}
+
+// A quantile recomputed from the scraped text exposition must equal the one
+// computed in-process: both views see the same bucket counts.
+func TestQuantileExpositionConsistency(t *testing.T) {
+	reg := NewRegistry()
+	bounds := []float64{0.001, 0.01, 0.1, 1, 10}
+	h := reg.Histogram("adatm_test_quantile_seconds", "test", nil, bounds)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		h.Observe(math.Pow(10, rng.Float64()*4-3)) // 1e-3 .. 1e1
+	}
+
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	scraped := scrapeHistogram(t, sb.String(), "adatm_test_quantile_seconds")
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		want := h.Quantile(q)
+		got := scraped.quantile(q)
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("q=%v: exposition-derived %v != in-process %v", q, got, want)
+		}
+	}
+}
+
+// scrapedHist re-implements the quantile estimate from exposition bucket
+// lines, mirroring what a Prometheus-side histogram_quantile sees.
+type scrapedHist struct {
+	bounds []float64 // finite bounds
+	counts []int64   // per-bucket (de-cumulated), same length
+	inf    int64
+}
+
+func scrapeHistogram(t *testing.T, text, name string) *scrapedHist {
+	t.Helper()
+	s := &scrapedHist{}
+	var prev int64
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, name+"_bucket{") {
+			continue
+		}
+		leStart := strings.Index(line, `le="`) + 4
+		leEnd := strings.Index(line[leStart:], `"`) + leStart
+		leStr := line[leStart:leEnd]
+		cum, err := strconv.ParseInt(strings.TrimSpace(line[strings.LastIndex(line, " ")+1:]), 10, 64)
+		if err != nil {
+			t.Fatalf("bad bucket line %q: %v", line, err)
+		}
+		if leStr == "+Inf" {
+			s.inf = cum - prev
+		} else {
+			b, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				t.Fatalf("bad le %q: %v", leStr, err)
+			}
+			s.bounds = append(s.bounds, b)
+			s.counts = append(s.counts, cum-prev)
+		}
+		prev = cum
+	}
+	if len(s.bounds) == 0 {
+		t.Fatalf("no %s_bucket lines in exposition", name)
+	}
+	return s
+}
+
+func (s *scrapedHist) quantile(q float64) float64 {
+	var total int64
+	for _, n := range s.counts {
+		total += n
+	}
+	total += s.inf
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range s.counts {
+		cum += n
+		if n == 0 || cum < rank {
+			continue
+		}
+		lo := math.Inf(-1)
+		if i > 0 {
+			lo = s.bounds[i-1]
+		}
+		hi := s.bounds[i]
+		frac := float64(rank-(cum-n)) / float64(n)
+		if lo > 0 && hi > 0 {
+			return lo * math.Pow(hi/lo, frac)
+		}
+		if math.IsInf(lo, -1) {
+			return hi
+		}
+		return lo + (hi-lo)*frac
+	}
+	return s.bounds[len(s.bounds)-1]
+}
+
+func TestQuantileAllocationFree(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 9))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = h.Quantile(0.5)
+	})
+	if allocs != 0 {
+		t.Errorf("Quantile: %v allocs, want 0", allocs)
+	}
+}
+
+// FitDeltaTestBounds mirrors health.FitDeltaBuckets without importing it
+// (obs cannot depend on health): 41 powers of two from 2^-40 up to 1.
+func FitDeltaTestBounds() []float64 {
+	out := make([]float64, 41)
+	b := math.Ldexp(1, -40)
+	for i := range out {
+		out[i] = b
+		b *= 2
+	}
+	return out
+}
+
+func sortFloats(v []float64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

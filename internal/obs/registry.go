@@ -165,6 +165,98 @@ func (h *Histogram) Rejected() int64 {
 	return h.rejected.Load()
 }
 
+// NewHistogram builds a standalone (unregistered) histogram with the given
+// ascending bucket bounds (nil selects LatencyBuckets). Use this when a
+// component needs a private distribution — e.g. the health probe's fit-delta
+// baseline — without requiring a registry. The same validation as
+// Registry.Histogram applies: non-finite or non-ascending bounds panic.
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets()
+	}
+	validateBounds("histogram", bounds)
+	bb := make([]float64, len(bounds))
+	copy(bb, bounds)
+	return &Histogram{bounds: bb, buckets: make([]atomic.Int64, len(bb))}
+}
+
+// validateBounds panics unless bounds are finite and strictly ascending.
+func validateBounds(name string, bounds []float64) {
+	for i, b := range bounds {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q bound %d is not finite", name, i))
+		}
+		if i > 0 && b <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
+		}
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution from the bucket counts alone — the same information the text
+// exposition carries, so an estimate computed here matches one recomputed
+// from a scrape. Within the target bucket the value is interpolated
+// geometrically when the bucket's bounds are both positive (exact-ish for
+// log-scaled buckets) and linearly when the bucket touches zero or negative
+// territory. Observations in the +Inf overflow bucket report the highest
+// finite bound. Returns NaN when the histogram is empty, nil, or q is
+// outside [0, 1].
+//
+// The estimate is allocation-free and safe under concurrent Observe; counts
+// are read once per bucket, so a racing observation shifts the result by at
+// most one sample.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	var total int64
+	for i := range h.buckets {
+		total += h.buckets[i].Load()
+	}
+	total += h.inf.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	// Rank of the target observation, 1-based: ceil(q·total), clamped to ≥1
+	// so Quantile(0) reports the lowest populated bucket.
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.buckets {
+		n := h.buckets[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		cum += n
+		if cum < rank {
+			continue
+		}
+		lo := math.Inf(-1)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		// Fraction of the way through this bucket's population.
+		frac := float64(rank-(cum-n)) / float64(n)
+		if lo > 0 && hi > 0 {
+			return lo * math.Pow(hi/lo, frac)
+		}
+		if math.IsInf(lo, -1) {
+			return hi
+		}
+		return lo + (hi-lo)*frac
+	}
+	// Target falls in the +Inf overflow bucket: report the highest finite
+	// bound (the estimate cannot do better from bucket counts).
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return math.NaN()
+}
+
 // LatencyBuckets returns the default log-scaled latency bounds in seconds:
 // powers of two from 1 µs to ~33 s. Log scaling keeps the bucket count small
 // while spanning the six orders of magnitude between a single chunk and a
@@ -356,14 +448,7 @@ func (r *Registry) Histogram(name, help string, labels Labels, bounds []float64)
 	if bounds == nil {
 		bounds = LatencyBuckets()
 	}
-	for i, b := range bounds {
-		if math.IsNaN(b) || math.IsInf(b, 0) {
-			panic(fmt.Sprintf("obs: histogram %q bound %d is not finite", name, i))
-		}
-		if i > 0 && b <= bounds[i-1] {
-			panic(fmt.Sprintf("obs: histogram %q bounds not ascending at %d", name, i))
-		}
-	}
+	validateBounds(name, bounds)
 	s := r.register(name, help, kindHistogram, labels, func() *series {
 		bb := make([]float64, len(bounds))
 		copy(bb, bounds)

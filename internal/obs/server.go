@@ -14,7 +14,8 @@ import (
 // Server is the live debug endpoint: /metrics (Prometheus text format),
 // /healthz, /run (JSON snapshot of the in-flight run), /plan (the latest
 // model-audit decision+report), /timeseries (the attached Sampler's resource
-// timeline), /debug/pprof/* and /debug/vars. It binds immediately (addr ":0"
+// timeline), /iters (the attached IterLog's per-iteration health history,
+// with ?follow=1 live streaming), /debug/pprof/* and /debug/vars. It binds immediately (addr ":0"
 // picks a free port — read the resolved one back from Addr) and serves until
 // Close.
 type Server struct {
@@ -24,6 +25,7 @@ type Server struct {
 	run     atomic.Value            // latest SetRun payload (any JSON-marshalable value)
 	plan    atomic.Value            // latest SetPlan payload (any JSON-marshalable value)
 	sampler atomic.Pointer[Sampler] // resource timeline behind /timeseries
+	iters   atomic.Pointer[IterLog] // iteration-health history behind /iters
 }
 
 // Serve binds addr and starts serving the debug endpoints in a background
@@ -40,6 +42,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/run", s.handleRun)
 	mux.HandleFunc("/plan", s.handlePlan)
 	mux.HandleFunc("/timeseries", s.handleTimeseries)
+	mux.HandleFunc("/iters", s.handleIters)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -121,6 +124,77 @@ func (s *Server) handleTimeseries(w http.ResponseWriter, _ *http.Request) {
 		payload.Samples = []ResourceSample{}
 	}
 	writeJSON(w, payload)
+}
+
+// SetIterLog attaches (or, with nil, detaches) the iteration-health history
+// served at /iters. The producer owns the log's lifecycle (Append/Close);
+// the server only reads copies.
+func (s *Server) SetIterLog(l *IterLog) { s.iters.Store(l) }
+
+// itersPayload is the /iters snapshot response envelope.
+type itersPayload struct {
+	// Seq is the total number of samples ever appended; pass it back as
+	// ?after= (or track it client-side against follow output) to resume.
+	Seq    int64        `json:"seq"`
+	Closed bool         `json:"closed"`
+	Iters  []IterSample `json:"iters"`
+}
+
+// iterFollowPoll is the cadence at which a ?follow=1 stream checks the log
+// for new samples. Polling (rather than a condition variable) keeps the
+// handler free of missed-wakeup hazards when clients disconnect mid-wait;
+// 100ms is far below any human-visible latency and far above the cost of an
+// empty After call.
+const iterFollowPoll = 100 * time.Millisecond
+
+// handleIters serves the iteration-health history. Without query parameters
+// it returns one JSON snapshot of the retained window. With ?follow=1 it
+// streams NDJSON — one IterSample object per line — starting from the full
+// retained window and continuing live until the log is closed or the client
+// disconnects.
+func (s *Server) handleIters(w http.ResponseWriter, r *http.Request) {
+	l := s.iters.Load()
+	if r.URL.Query().Get("follow") == "" {
+		samples, seq, closed := l.After(0)
+		if samples == nil {
+			samples = []IterSample{}
+		}
+		writeJSON(w, itersPayload{Seq: seq, Closed: closed, Iters: samples})
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if l == nil {
+		return
+	}
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush() // commit headers so clients see the stream open immediately
+	}
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	ticker := time.NewTicker(iterFollowPoll)
+	defer ticker.Stop()
+	var after int64
+	for {
+		samples, seq, closed := l.After(after)
+		for i := range samples {
+			if err := enc.Encode(&samples[i]); err != nil {
+				return
+			}
+		}
+		if len(samples) > 0 && fl != nil {
+			fl.Flush()
+		}
+		after = seq
+		if closed {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

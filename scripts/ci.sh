@@ -22,6 +22,11 @@ go test -race ./cmd/...
 # and the high-contention short-mode tensor maximizes the interleavings.
 GOMAXPROCS=4 go test -race -count=1 -run 'TestConformanceAccum' ./internal/engine/
 
+# The swamp fixture drives the numerical-health probe with every sink wired
+# (metrics, ledger, iteration stream) through a real CP-ALS run; the race run
+# covers the probe's locking against the solver loop and the /iters readers.
+go test -race -count=1 -run 'TestSwamp|TestServerIters' ./internal/health/ ./internal/obs/
+
 make bench-smoke
 make obs-smoke
 make ckpt-smoke

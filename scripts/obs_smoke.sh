@@ -22,6 +22,7 @@ go build -o "$tmp/cpd" ./cmd/cpd
 "$tmp/cpd" -in "$tmp/smoke.tns" -rank 4 -iters 3 -engine adaptive \
     -listen 127.0.0.1:0 -hold -tracefile "$tmp/trace.json" \
     -audit -auditfile "$tmp/audit.jsonl" \
+    -health -healthfile "$tmp/health.jsonl" \
     >"$tmp/stdout" 2>"$tmp/stderr" &
 pid=$!
 
@@ -51,7 +52,9 @@ for series in adatm_memo_hits_total adatm_memo_misses_total \
     adatm_build_info adatm_model_predicted_ops adatm_model_measured_ops \
     adatm_model_ops_relative_error adatm_model_top1_agreement \
     adatm_accum_strategy adatm_accum_reduce_seconds adatm_accum_pool_bytes \
-    adatm_gc_pause_seconds_bucket adatm_gc_pause_seconds_count; do
+    adatm_gc_pause_seconds_bucket adatm_gc_pause_seconds_count \
+    adatm_health_state adatm_health_lambda_ratio adatm_health_max_kappa \
+    adatm_health_max_congruence adatm_cpd_fit_delta_bucket; do
     grep -q "$series" "$tmp/metrics" || { echo "obs-smoke: /metrics missing $series"; cat "$tmp/metrics"; exit 1; }
 done
 
@@ -66,7 +69,16 @@ grep -q '"goroutines"' "$tmp/timeseries" || { echo "obs-smoke: /timeseries sampl
 # degenerate measurements, so NaN/Inf in the exposition is a regression).
 grep '^adatm_model_ops_relative_error' "$tmp/metrics" | grep -qiE 'nan|inf' \
     && { echo "obs-smoke: non-finite model relative error"; grep adatm_model "$tmp/metrics"; exit 1; }
-curl -fsS "http://$addr/run" | grep -q '"done": *true' || { echo "obs-smoke: /run missing final snapshot"; exit 1; }
+curl -fsS "http://$addr/run" >"$tmp/run"
+grep -q '"done": *true' "$tmp/run" || { echo "obs-smoke: /run missing final snapshot"; cat "$tmp/run"; exit 1; }
+grep -q '"health"' "$tmp/run" || { echo "obs-smoke: /run missing health verdict"; cat "$tmp/run"; exit 1; }
+
+# /iters must serve the retained per-iteration health stream: one sample per
+# ALS iteration with the signal fields and a verdict.
+curl -fsS "http://$addr/iters" >"$tmp/iters"
+grep -q '"iter"' "$tmp/iters" || { echo "obs-smoke: /iters has no samples"; cat "$tmp/iters"; exit 1; }
+grep -q '"state"' "$tmp/iters" || { echo "obs-smoke: /iters samples missing verdict"; cat "$tmp/iters"; exit 1; }
+grep -q '"max_congruence"' "$tmp/iters" || { echo "obs-smoke: /iters samples missing signals"; cat "$tmp/iters"; exit 1; }
 
 # /plan must serve the model-audit decision and its reconciliation: the
 # predicted/measured ops pair with a finite relative error, and a verdict.
@@ -94,7 +106,15 @@ grep -q '^top-1: model' "$tmp/stdout" || { echo "obs-smoke: -audit table missing
 # The decision ledger must be valid JSONL (decision + chosen candidate per line).
 go run ./scripts/jsonlcheck "$tmp/audit.jsonl" || { echo "obs-smoke: audit ledger invalid"; cat "$tmp/audit.jsonl"; exit 1; }
 
-echo "obs-smoke: cpd phase OK ($(wc -c <"$tmp/metrics") bytes of metrics, $(wc -c <"$tmp/trace.json") bytes of trace, $(wc -l <"$tmp/audit.jsonl") ledger records)"
+# The ledger must carry the probe's health.state lifecycle event (validated as
+# JSONL by the jsonlcheck pass above).
+grep -q '"health.state"' "$tmp/audit.jsonl" || { echo "obs-smoke: audit ledger missing health.state event"; cat "$tmp/audit.jsonl"; exit 1; }
+
+# -healthfile must hold the per-iteration JSONL history with verdicts.
+[ -s "$tmp/health.jsonl" ] || { echo "obs-smoke: healthfile empty"; exit 1; }
+grep -q '"state"' "$tmp/health.jsonl" || { echo "obs-smoke: healthfile samples missing verdict"; cat "$tmp/health.jsonl"; exit 1; }
+
+echo "obs-smoke: cpd phase OK ($(wc -c <"$tmp/metrics") bytes of metrics, $(wc -c <"$tmp/trace.json") bytes of trace, $(wc -l <"$tmp/audit.jsonl") ledger records, $(wc -l <"$tmp/health.jsonl") health samples)"
 
 # ---- perfgate phase: the perf-trajectory pipeline end to end --------------
 # One quick sample of one scenario, self-gated (identical sample sets can
