@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-kernels bench-mttkrp obs-smoke ckpt-smoke perf-baseline perf-gate ci fuzz experiments experiments-quick examples clean
+.PHONY: all build vet test test-race bench bench-smoke bench-kernels bench-mttkrp obs-smoke ckpt-smoke dist-smoke perf-baseline perf-gate ci fuzz experiments experiments-quick examples clean
 
 all: build vet test
 
@@ -36,6 +36,12 @@ obs-smoke:
 # resume it, and require the uninterrupted fit plus adatm_ckpt_* metrics.
 ckpt-smoke:
 	./scripts/ckpt_smoke.sh
+
+# End-to-end distributed-solver check: a 2-process sharded run over the TCP
+# loopback transport with the adatm_dist_* scrape and the ledger's
+# dist.partition decision. See DESIGN.md §2j.
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 # Machine-readable microbenchmarks of the shared kernel layer. Written via
 # temp file + rename so an interrupted run never truncates the committed file.

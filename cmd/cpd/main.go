@@ -31,43 +31,46 @@ import (
 
 func main() {
 	var (
-		in        = flag.String("in", "", "input tensor (.tns or .tns.gz), required")
-		rank      = flag.Int("rank", 16, "decomposition rank")
-		iters     = flag.Int("iters", 50, "maximum ALS iterations")
-		tol       = flag.Float64("tol", 1e-5, "fit-change convergence tolerance")
-		seed      = flag.Int64("seed", 1, "factor initialization seed")
-		workers   = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
-		engName   = flag.String("engine", "adaptive", "engine: coo, csf, csf-one, hicoo, memo-flat, memo-2group, memo-balanced, adaptive")
-		budget    = flag.String("budget", "", "memory budget for the adaptive engine, e.g. 512MiB, 2GiB")
-		accumFlag = flag.String("accum", "auto", "MTTKRP output accumulation: auto (model decides per mode), scatter, privatize")
-		outPfx    = flag.String("out", "", "write factor matrices to <out>_mode<k>.txt and lambda to <out>_lambda.txt")
-		plan      = flag.Bool("plan", false, "print the model-driven plan and exit")
-		fittrace  = flag.Bool("fittrace", false, "print the fit after every iteration")
-		jsonOut   = flag.Bool("json", false, "emit a JSON run report (with per-phase breakdown) to stdout")
-		pprofOut  = flag.String("pprof", "", "write a CPU profile to this file")
-		rtTrace   = flag.String("runtimetrace", "", "write a Go runtime execution trace to this file")
-		traceOut  = flag.String("trace", "", "deprecated alias for -runtimetrace")
-		tracefile = flag.String("tracefile", "", "write a Chrome trace-event JSON of CP-ALS spans (load in Perfetto)")
-		listen    = flag.String("listen", "", "serve /metrics, /healthz, /run, /plan, /debug/pprof on this address (e.g. :9090)")
-		hold      = flag.Bool("hold", false, "with -listen: keep the debug server up after the run until interrupted")
-		auditRun  = flag.Bool("audit", false, "reconcile the cost model's predictions against the measured run and print the table (adaptive engine)")
-		auditFile = flag.String("auditfile", "", "append the model-audit decision ledger (JSONL) to this file")
-		auditWarn = flag.Float64("auditwarn", 0.25, "model-audit |relative error| warning threshold")
-		logJSON   = flag.Bool("logjson", false, "emit structured JSON log events (model selection, reconciliation) to stderr")
-		logFile   = flag.String("logfile", "", "write structured JSON log events to this file instead of stderr")
+		in         = flag.String("in", "", "input tensor (.tns or .tns.gz), required")
+		rank       = flag.Int("rank", 16, "decomposition rank")
+		iters      = flag.Int("iters", 50, "maximum ALS iterations")
+		tol        = flag.Float64("tol", 1e-5, "fit-change convergence tolerance")
+		seed       = flag.Int64("seed", 1, "factor initialization seed")
+		workers    = flag.Int("workers", 0, "parallel width (0 = GOMAXPROCS)")
+		engName    = flag.String("engine", "adaptive", "engine: coo, csf, csf-one, hicoo, memo-flat, memo-2group, memo-balanced, adaptive")
+		budget     = flag.String("budget", "", "memory budget for the adaptive engine, e.g. 512MiB, 2GiB")
+		accumFlag  = flag.String("accum", "auto", "MTTKRP output accumulation: auto (model decides per mode), scatter, privatize")
+		outPfx     = flag.String("out", "", "write factor matrices to <out>_mode<k>.txt and lambda to <out>_lambda.txt")
+		plan       = flag.Bool("plan", false, "print the model-driven plan and exit")
+		fittrace   = flag.Bool("fittrace", false, "print the fit after every iteration")
+		jsonOut    = flag.Bool("json", false, "emit a JSON run report (with per-phase breakdown) to stdout")
+		pprofOut   = flag.String("pprof", "", "write a CPU profile to this file")
+		rtTrace    = flag.String("runtimetrace", "", "write a Go runtime execution trace to this file")
+		traceOut   = flag.String("trace", "", "deprecated alias for -runtimetrace")
+		tracefile  = flag.String("tracefile", "", "write a Chrome trace-event JSON of CP-ALS spans (load in Perfetto)")
+		listen     = flag.String("listen", "", "serve /metrics, /healthz, /run, /plan, /debug/pprof on this address (e.g. :9090)")
+		hold       = flag.Bool("hold", false, "with -listen: keep the debug server up after the run until interrupted")
+		auditRun   = flag.Bool("audit", false, "reconcile the cost model's predictions against the measured run and print the table (adaptive engine)")
+		auditFile  = flag.String("auditfile", "", "append the model-audit decision ledger (JSONL) to this file")
+		auditWarn  = flag.Float64("auditwarn", 0.25, "model-audit |relative error| warning threshold")
+		logJSON    = flag.Bool("logjson", false, "emit structured JSON log events (model selection, reconciliation) to stderr")
+		logFile    = flag.String("logfile", "", "write structured JSON log events to this file instead of stderr")
 		healthRun  = flag.Bool("health", false, "track per-iteration numerical health (swamp/stall/conditioning) and print the final verdict (standard CP-ALS only)")
 		healthFile = flag.String("healthfile", "", "write the per-iteration health history (JSONL, /iters schema) to this file")
-		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
-		progress  = flag.Bool("progress", false, "print per-iteration progress to stderr")
-		ridge     = flag.Float64("ridge", 0, "Tikhonov regularization weight")
-		nonneg    = flag.Bool("nonneg", false, "constrain factors to be non-negative")
-		complete  = flag.Bool("complete", false, "masked completion: fit observed entries only (ratings semantics)")
-		apr       = flag.Bool("apr", false, "Poisson CP (CP-APR): maximize Poisson likelihood for count data")
-		modelPath = flag.String("model", "", "write the fitted model (lambda + factors) to this JSON file")
-		ckptDir   = flag.String("checkpoint", "", "write crash-safe checkpoints to this directory during the run (standard CP-ALS only)")
-		ckptEvery = flag.String("ckpt-every", "1", "checkpoint cadence: an iteration count (e.g. 5) or a wall-clock duration (e.g. 30s)")
-		ckptKeep  = flag.Int("ckpt-retain", 3, "rolling retention: keep this many newest checkpoints (0 = keep all)")
-		resume    = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint instead of starting fresh")
+		timeout    = flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+		progress   = flag.Bool("progress", false, "print per-iteration progress to stderr")
+		ridge      = flag.Float64("ridge", 0, "Tikhonov regularization weight")
+		nonneg     = flag.Bool("nonneg", false, "constrain factors to be non-negative")
+		complete   = flag.Bool("complete", false, "masked completion: fit observed entries only (ratings semantics)")
+		apr        = flag.Bool("apr", false, "Poisson CP (CP-APR): maximize Poisson likelihood for count data")
+		modelPath  = flag.String("model", "", "write the fitted model (lambda + factors) to this JSON file")
+		procs      = flag.Int("procs", 1, "simulated process count; > 1 runs the distributed sharded solver")
+		partition  = flag.String("partition", "auto", "with -procs > 1: nonzero partitioner: auto (model decides), random, medium-grain, fine-greedy")
+		transport  = flag.String("transport", "chan", "with -procs > 1: transport: chan (deterministic in-process), tcp (loopback TCP)")
+		ckptDir    = flag.String("checkpoint", "", "write crash-safe checkpoints to this directory during the run (standard CP-ALS only)")
+		ckptEvery  = flag.String("ckpt-every", "1", "checkpoint cadence: an iteration count (e.g. 5) or a wall-clock duration (e.g. 30s)")
+		ckptKeep   = flag.Int("ckpt-retain", 3, "rolling retention: keep this many newest checkpoints (0 = keep all)")
+		resume     = flag.Bool("resume", false, "resume from the newest checkpoint in -checkpoint instead of starting fresh")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -102,7 +105,52 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loaded %s\n", x)
 
 	if *plan {
+		if *procs > 1 {
+			pp, err := adatm.PartitionPlanFor(x, *procs, *rank, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(pp)
+			return
+		}
 		fmt.Print(adatm.PlanFor(x, *rank, budgetBytes))
+		return
+	}
+
+	if *procs > 1 {
+		// The distributed solver is plain CP-ALS over shards; modes that
+		// change the update rule or need single-node loop hooks don't apply.
+		for _, bad := range []struct {
+			set  bool
+			flag string
+		}{
+			{*apr, "-apr"}, {*complete, "-complete"}, {*nonneg, "-nonneg"},
+			{*ridge != 0, "-ridge"}, {*ckptDir != "", "-checkpoint"}, {*resume, "-resume"},
+			{*healthRun, "-health"}, {*healthFile != "", "-healthfile"},
+			{*timeout != 0, "-timeout"},
+		} {
+			if bad.set {
+				fatal(fmt.Errorf("%s is not supported with -procs > 1", bad.flag))
+			}
+		}
+		obsst, err := setupObs(obsConfig{
+			tracePath: *tracefile, listen: *listen, hold: *hold, workers: *workers,
+			audit: *auditRun, auditFile: *auditFile, auditWarn: *auditWarn,
+			logJSON: *logJSON, logFile: *logFile,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fatalCleanup = func() {
+			obsst.finish(*engName, *rank, nil)
+			stopProf()
+		}
+		runDist(x, obsst, distFlags{
+			rank: *rank, iters: *iters, tol: *tol, seed: *seed, workers: *workers,
+			procs: *procs, partition: *partition, transport: *transport,
+			engine: *engName, fittrace: *fittrace, jsonOut: *jsonOut,
+			outPfx: *outPfx, modelPath: *modelPath,
+		})
 		return
 	}
 

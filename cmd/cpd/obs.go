@@ -18,17 +18,17 @@ import (
 
 // obsConfig collects the observability flags of one CLI run.
 type obsConfig struct {
-	tracePath string  // -tracefile: Chrome trace-event output
-	listen    string  // -listen: debug server address
-	hold      bool    // -hold: keep the server up after the run
-	workers   int     // parallel width (names the tracer tracks)
-	audit     bool    // -audit: print the reconciliation table
-	auditFile string  // -auditfile: JSONL decision ledger
-	auditWarn float64 // -auditwarn: |rel err| warning threshold
-	logJSON   bool    // -logjson: structured JSON log events to stderr
-	logFile   string  // -logfile: structured JSON log events to this file
-	health    bool    // -health: numerical-health probe + final verdict
-	healthFile string // -healthfile: per-iteration health history (JSONL)
+	tracePath  string  // -tracefile: Chrome trace-event output
+	listen     string  // -listen: debug server address
+	hold       bool    // -hold: keep the server up after the run
+	workers    int     // parallel width (names the tracer tracks)
+	audit      bool    // -audit: print the reconciliation table
+	auditFile  string  // -auditfile: JSONL decision ledger
+	auditWarn  float64 // -auditwarn: |rel err| warning threshold
+	logJSON    bool    // -logjson: structured JSON log events to stderr
+	logFile    string  // -logfile: structured JSON log events to this file
+	health     bool    // -health: numerical-health probe + final verdict
+	healthFile string  // -healthfile: per-iteration health history (JSONL)
 }
 
 // enabled reports whether any observability feature was requested.
@@ -55,20 +55,20 @@ func (c obsConfig) wantHealth() bool {
 // behind -listen, and the model-audit recorder behind -audit/-auditfile/
 // -logjson/-logfile.
 type obsState struct {
-	tracer    *adatm.Tracer
-	metrics   *adatm.Metrics
-	server    *adatm.DebugServer
-	sampler   *obs.Sampler
-	audit     *adatm.AuditRecorder
-	auditFile *os.File
-	logFile   *os.File
-	health    *adatm.HealthProbe
-	iterLog   *adatm.IterLog
+	tracer     *adatm.Tracer
+	metrics    *adatm.Metrics
+	server     *adatm.DebugServer
+	sampler    *obs.Sampler
+	audit      *adatm.AuditRecorder
+	auditFile  *os.File
+	logFile    *os.File
+	health     *adatm.HealthProbe
+	iterLog    *adatm.IterLog
 	healthPath string
-	tracePath string
-	hold      bool
-	started   time.Time
-	done      bool // finish already ran (it is called from both the normal exit and fatal)
+	tracePath  string
+	hold       bool
+	started    time.Time
+	done       bool // finish already ran (it is called from both the normal exit and fatal)
 }
 
 // runSnapshot is the JSON payload served at /run, refreshed after every

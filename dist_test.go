@@ -1,0 +1,83 @@
+package adatm_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"adatm"
+)
+
+func TestDecomposeDistMatchesDecompose(t *testing.T) {
+	x := adatm.Generate(adatm.GenSpec{Dims: []int{14, 14, 14}, NNZ: 600, Seed: 650})
+	opt := adatm.Options{Rank: 4, MaxIters: 5, Tol: 1e-14, Seed: 651, Engine: adatm.EngineCOO, TrackFit: true}
+	want, err := adatm.Decompose(x, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ledger bytes.Buffer
+	rec := adatm.NewAuditRecorder(adatm.AuditConfig{Ledger: &ledger})
+	dres, err := adatm.DecomposeDist(x, adatm.DistOptions{
+		Rank: 4, MaxIters: 5, Tol: 1e-14, Seed: 651,
+		Procs: 3, TrackFit: true, Audit: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine-level summation orders differ between the full-tensor engine
+	// and the shard fold, so compare at the cross-engine tolerance (the
+	// strict 1e-12 conformance suite lives in internal/dist).
+	if math.Abs(dres.Fit-want.Fit) > 1e-9 {
+		t.Errorf("dist fit %.12f vs single-node %.12f", dres.Fit, want.Fit)
+	}
+	if dres.Iters != want.Iters {
+		t.Errorf("iters %d vs %d", dres.Iters, want.Iters)
+	}
+	if dres.Messages == 0 {
+		t.Error("P=3 run sent no messages")
+	}
+	if !strings.Contains(ledger.String(), "dist.partition") {
+		t.Errorf("audit ledger lacks the partition decision:\n%s", ledger.String())
+	}
+
+	// The converted Result supports Result-based consumers.
+	res := adatm.DistResultToResult(dres)
+	if res.Fit != dres.Fit || len(res.Factors) != 3 {
+		t.Errorf("conversion dropped fields: %+v", res)
+	}
+	idx := []adatm.Index{0, 0, 0}
+	_ = adatm.Reconstruct(res, idx)
+}
+
+func TestDecomposeDistOptionValidation(t *testing.T) {
+	x := adatm.Generate(adatm.GenSpec{Dims: []int{8, 8, 8}, NNZ: 120, Seed: 652})
+	if _, err := adatm.DecomposeDist(x, adatm.DistOptions{Rank: 3, Partition: "bogus"}); err == nil {
+		t.Error("unknown partition accepted")
+	}
+	if _, err := adatm.DecomposeDist(x, adatm.DistOptions{Rank: 3, Transport: "bogus"}); err == nil {
+		t.Error("unknown transport accepted")
+	}
+	if _, err := adatm.DecomposeDist(x, adatm.DistOptions{Rank: 3, Fault: &adatm.DistFault{DropProb: 1}}); err == nil {
+		t.Error("fault injection on the chan transport accepted")
+	}
+	if _, err := adatm.DecomposeDist(nil, adatm.DistOptions{Rank: 3}); err == nil {
+		t.Error("nil tensor accepted")
+	}
+
+	// Forced partitions and the TCP transport work end to end.
+	for _, part := range []string{adatm.PartitionRandom, adatm.PartitionMediumGrain, adatm.PartitionFineGreedy} {
+		if _, err := adatm.DecomposeDist(x, adatm.DistOptions{Rank: 3, MaxIters: 2, Procs: 2, Partition: part}); err != nil {
+			t.Errorf("partition %s: %v", part, err)
+		}
+	}
+	if _, err := adatm.DecomposeDist(x, adatm.DistOptions{Rank: 3, MaxIters: 2, Procs: 2, Transport: adatm.TransportTCP}); err != nil {
+		t.Errorf("tcp transport: %v", err)
+	}
+
+	plan, err := adatm.PartitionPlanFor(x, 4, 3, 1)
+	if err != nil || len(plan.Candidates) == 0 || plan.String() == "" {
+		t.Errorf("PartitionPlanFor: %v %+v", err, plan)
+	}
+}

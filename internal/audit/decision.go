@@ -75,6 +75,17 @@ type Decision struct {
 	NNZ    int64     `json:"nnz"`
 	Rank   int       `json:"rank"`
 	Budget int64     `json:"budget_bytes"`
+	// Kind distinguishes decision flavors in the ledger: "" (the default)
+	// is a format/strategy selection, "partition" is a distributed-layer
+	// partitioner selection (see partition.go).
+	Kind string `json:"decision_kind,omitempty"`
+	// Procs and Transport describe the distributed run a partition decision
+	// was made for.
+	Procs     int    `json:"procs,omitempty"`
+	Transport string `json:"transport,omitempty"`
+	// Partition holds the scored partitioner candidates of a partition
+	// decision (Candidates stays empty for those).
+	Partition []PartitionCandidateRecord `json:"partition_candidates,omitempty"`
 	// Exact reports the distinct counts were computed exactly rather than
 	// sketched (model-validation runs).
 	Exact bool `json:"exact_counts,omitempty"`

@@ -1,0 +1,62 @@
+package audit
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+
+	"adatm/internal/model"
+	"adatm/internal/tensor"
+)
+
+func TestRecordPartitionLedgerAndHooks(t *testing.T) {
+	x := tensor.RandomClustered(3, 24, 1200, 0.8, 640)
+	plan, err := model.SelectPartition(x, model.PartitionOptions{Procs: 4, Rank: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var ledger, logs bytes.Buffer
+	var hook Record
+	r := NewRecorder(Config{
+		Logger:   slog.New(slog.NewJSONHandler(&logs, nil)),
+		Ledger:   &ledger,
+		OnUpdate: func(rec Record) { hook = rec },
+	})
+
+	d := NewPartitionDecision(plan, "tcp")
+	if d.Kind != "partition" || d.Chosen != plan.Chosen.Name || len(d.Partition) != len(plan.Candidates) {
+		t.Fatalf("bad partition decision: %+v", d)
+	}
+	if c := d.PartitionCandidate(d.Chosen); c == nil || c.VolumeBytes != plan.Chosen.Comm.VolumeBytes(plan.Rank) {
+		t.Fatalf("chosen candidate record missing or wrong: %+v", c)
+	}
+	r.RecordPartition(d)
+
+	// The ledger line must validate and carry the dist.partition event.
+	n, err := ValidateLedger(bytes.NewReader(ledger.Bytes()))
+	if err != nil || n != 1 {
+		t.Fatalf("ledger invalid: n=%d err=%v\n%s", n, err, ledger.String())
+	}
+	if !strings.Contains(ledger.String(), `"kind":"dist.partition"`) {
+		t.Errorf("ledger record lacks the dist.partition event:\n%s", ledger.String())
+	}
+	if !strings.Contains(logs.String(), "run.dist.partition") {
+		t.Errorf("no structured log event emitted:\n%s", logs.String())
+	}
+	if hook.Decision != d || hook.Event == nil || hook.Event.Kind != EventPartition {
+		t.Errorf("OnUpdate hook record wrong: %+v", hook)
+	}
+
+	// RecordPartition must not disturb the pending format decision:
+	// Reconcile still returns nil because none was recorded.
+	if rep := r.Reconcile(Measured{Iters: 1}); rep != nil {
+		t.Errorf("partition decision leaked into reconciliation: %+v", rep)
+	}
+
+	// Nil receiver and nil decision are no-ops.
+	var nilRec *Recorder
+	nilRec.RecordPartition(d)
+	r.RecordPartition(nil)
+}

@@ -7,11 +7,8 @@ import (
 	"testing/quick"
 
 	"adatm/internal/coo"
-	"adatm/internal/cpd"
-	"adatm/internal/csf"
 	"adatm/internal/dense"
 	"adatm/internal/engine"
-	"adatm/internal/memo"
 	"adatm/internal/ref"
 	"adatm/internal/tensor"
 )
@@ -85,40 +82,6 @@ func TestClusterMTTKRPEquivalence(t *testing.T) {
 			if d := out.MaxAbsDiff(want); d > 1e-8 {
 				t.Errorf("%s mode %d: diff %g", p.Name, mode, d)
 			}
-		}
-	}
-}
-
-// Full simulated distributed CP-ALS must match the shared-memory solver's
-// trajectory from identical initial factors.
-func TestDistributedALSMatchesShared(t *testing.T) {
-	x := tensor.RandomClustered(3, 18, 1200, 0.6, 605)
-	rng := rand.New(rand.NewSource(606))
-	init := make([]*dense.Matrix, 3)
-	for m := range init {
-		init[m] = dense.Random(x.Dims[m], 4, rng)
-	}
-	shared, err := cpd.Run(x, csf.NewAllMode(x, 1), cpd.Options{Rank: 4, MaxIters: 6, Tol: 1e-14, Init: init})
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, p := range partitioners(x, 6) {
-		c := NewCluster(x, p, func(s *tensor.COO) engine.Engine {
-			if s.NNZ() == 0 {
-				return coo.New(s, 1)
-			}
-			e, err := memo.New(s, memo.Balanced(3), 1, "")
-			if err != nil {
-				t.Fatal(err)
-			}
-			return e
-		})
-		got, err := cpd.Run(x, c, cpd.Options{Rank: 4, MaxIters: 6, Tol: 1e-14, Init: init})
-		if err != nil {
-			t.Fatalf("%s: %v", p.Name, err)
-		}
-		if math.Abs(got.Fit-shared.Fit) > 1e-8 {
-			t.Errorf("%s: distributed fit %.12f vs shared %.12f", p.Name, got.Fit, shared.Fit)
 		}
 	}
 }

@@ -41,17 +41,28 @@ func (p *Partition) Validate(x *tensor.COO) error {
 	return nil
 }
 
-// Loads returns the nonzero count per process.
+// Loads returns the nonzero count per process. A non-positive P yields an
+// empty slice rather than a panic, so degenerate partitions stay inspectable.
 func (p *Partition) Loads() []int {
+	if p.P <= 0 {
+		return nil
+	}
 	loads := make([]int, p.P)
 	for _, o := range p.Owner {
-		loads[o]++
+		if int(o) < len(loads) {
+			loads[o]++
+		}
 	}
 	return loads
 }
 
-// Imbalance returns max/avg load.
+// Imbalance returns max/avg load. An empty partition (no nonzeros at all,
+// which happens whenever P > nnz leaves every shard empty, or nnz == 0) is
+// perfectly balanced by definition: 1, never NaN/Inf.
 func (p *Partition) Imbalance() float64 {
+	if p.P <= 0 {
+		return 1
+	}
 	loads := p.Loads()
 	max, total := 0, 0
 	for _, l := range loads {
@@ -124,7 +135,10 @@ func factorGrid(procs int, dims []int) []int {
 		if remaining%f != 0 {
 			f = remaining
 		}
-		// Give it to the mode with the largest dims/grid ratio.
+		// Give it to the mode with the largest dims/grid ratio. The strict
+		// inequality pins ties to the lowest mode index, so equal-dim
+		// tensors always produce the same grid (determinism matters: the
+		// partition feeds conformance baselines and audit records).
 		best := 0
 		for m := 1; m < n; m++ {
 			if work[m]*grid[best] > work[best]*grid[m] {

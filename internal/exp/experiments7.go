@@ -76,7 +76,7 @@ func E22SimulatedScaling(cfg Config) *Table {
 		}
 	}
 	t.Notes = append(t.Notes,
-		"predictions only (no real network): compute = max-loaded process, comm = α·messages + β·bytes",
-		"numerical equivalence of the simulated cluster is asserted by the dist package tests")
+		"predictions only: compute = max-loaded process, comm = α·messages + β·bytes — the same arithmetic model.SelectPartition ranks candidates with",
+		"these predictions are executable: `cpd -procs N -transport tcp` runs the sharded solver over real loopback sockets, conformant to the single-node solver at 1e-12 (DESIGN.md §2j)")
 	return t
 }

@@ -1,0 +1,74 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adatm/internal/coo"
+	"adatm/internal/dist"
+	"adatm/internal/engine"
+	"adatm/internal/tensor"
+)
+
+func TestSelectPartitionPrefersStructure(t *testing.T) {
+	// On a clustered tensor the structure-aware partitioners move far less
+	// data than random placement, so with any sane coefficients the model
+	// must not choose random.
+	x := tensor.RandomClustered(3, 64, 6000, 1.0, 630)
+	plan, err := SelectPartition(x, PartitionOptions{Procs: 8, Rank: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Chosen.Name == "random" {
+		t.Errorf("model chose random placement on a clustered tensor:\n%s", plan)
+	}
+	if len(plan.Candidates) != 3 {
+		t.Errorf("want 3 scored candidates, got %d", len(plan.Candidates))
+	}
+	// Candidates are sorted by predicted time ascending and carry their
+	// evidence.
+	for i, c := range plan.Candidates {
+		if c.Part == nil || c.PredNS != c.ComputeNS+c.CommNS {
+			t.Errorf("candidate %s: inconsistent record %+v", c.Name, c)
+		}
+		if i > 0 && c.PredNS < plan.Candidates[i-1].PredNS {
+			t.Errorf("candidates not sorted by PredNS at %d", i)
+		}
+	}
+	if plan.Chosen.PredNS > plan.Candidates[len(plan.Candidates)-1].PredNS {
+		t.Error("chosen candidate is not the cheapest")
+	}
+	if got := plan.Partitioner("random"); got == nil || got.Comm.TotalRows == 0 {
+		t.Error("random candidate missing or with zero recorded volume")
+	}
+	if s := plan.String(); !strings.Contains(s, "<= chosen") || !strings.Contains(s, plan.Chosen.Name) {
+		t.Errorf("plan report does not mark the choice:\n%s", s)
+	}
+}
+
+// The score must be the same arithmetic dist.CostModel.PredictIteration
+// uses, so audit reconciliation can compare prediction to measurement.
+func TestSelectPartitionMirrorsCostModel(t *testing.T) {
+	x := tensor.RandomClustered(3, 20, 800, 0.6, 631)
+	plan, err := SelectPartition(x, PartitionOptions{Procs: 4, Rank: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := dist.CostModel{NsPerOp: plan.NsPerOp, AlphaNs: plan.AlphaNS, BetaNsByte: plan.NsPerByte}
+	for _, cand := range plan.Candidates {
+		c := dist.NewCluster(x, cand.Part, func(s *tensor.COO) engine.Engine { return coo.New(s, 1) })
+		want := c.PredictIteration(plan.Rank, cm)
+		if got := time.Duration(cand.PredNS); got != want {
+			t.Errorf("%s: plan predicts %v, dist.CostModel predicts %v", cand.Name, got, want)
+		}
+	}
+
+	// Degenerate inputs are rejected, not scored.
+	if _, err := SelectPartition(x, PartitionOptions{Procs: 0}); err == nil {
+		t.Error("procs=0 accepted")
+	}
+	if _, err := SelectPartition(tensor.NewCOO([]int{2, 2}, 0), PartitionOptions{Procs: 2}); err == nil {
+		t.Error("empty tensor accepted")
+	}
+}

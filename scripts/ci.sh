@@ -27,7 +27,15 @@ GOMAXPROCS=4 go test -race -count=1 -run 'TestConformanceAccum' ./internal/engin
 # covers the probe's locking against the solver loop and the /iters readers.
 go test -race -count=1 -run 'TestSwamp|TestServerIters' ./internal/health/ ./internal/obs/
 
+# The distributed conformance suite (both transports, P in {2,4,7}, coo/csf/
+# memo shard engines vs the single-node solver at 1e-12) and the transport
+# fault-injection regressions run under the race detector: the SPMD workers,
+# the TCP retransmit timers, and the shared metrics registry are all
+# concurrent by construction.
+go test -race -count=1 -run 'TestDistRun|TestDistFault|TestDistributedALS|TestTransport' ./internal/dist/
+
 make bench-smoke
 make obs-smoke
 make ckpt-smoke
+make dist-smoke
 make perf-gate
